@@ -1,0 +1,37 @@
+"""Paper Fig. 1 — state-of-the-art in-SRAM multiplication design space.
+
+Fig. 1 compares published discharge-based in-SRAM multipliers along clock
+frequency, energy per MAC and bit width.  The benchmark regenerates that
+comparison from the published design points and places the corner selected
+by this repository's exploration next to them.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.sota import format_sota_table, sota_design_points
+
+
+def test_fig1_sota_design_space(benchmark, exploration):
+    points = benchmark(sota_design_points)
+
+    assert len(points) == 4
+    bit_widths = [point.bit_width for point in points]
+    energies = [point.energy_pj_per_mac for point in points]
+    clocks = [point.clock_mhz for point in points]
+    # Shape of Fig. 1: bit widths span 4..8, energies span roughly an order
+    # of magnitude, clocks span roughly 50..250 MHz.
+    assert min(bit_widths) == 4 and max(bit_widths) == 8
+    assert max(energies) / min(energies) > 5.0
+    assert min(clocks) >= 50.0 and max(clocks) <= 300.0
+
+    fom = exploration.best_fom()
+    own_row = (
+        f"{'ours':<6}{'OPTIMA-selected fom corner':<38}"
+        f"{fom.config.operating_frequency / 1e6:>12.0f}"
+        f"{fom.energy_per_multiplication * 1e12:>18.3f}{fom.config.bits:>11d}"
+    )
+    table = format_sota_table(points) + "\n" + own_row
+    print("\n" + table)
+    write_result("fig1_sota", table)

@@ -1,0 +1,72 @@
+"""Paper Fig. 4 — BLB discharge non-idealities.
+
+Fig. 4a shows the bit-line-bar voltage over time for several word-line
+voltages (including the residual sub-threshold discharge and the saturation
+limit); Fig. 4b shows the nonlinear dependence of the sampled voltage on the
+word-line voltage.  The benchmark regenerates both panels from the reference
+simulator and asserts their qualitative shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.nonidealities import discharge_vs_time, discharge_vs_wordline_voltage
+
+
+def test_fig4a_discharge_over_time(benchmark, technology):
+    curves = benchmark.pedantic(
+        lambda: discharge_vs_time(
+            technology, wordline_voltages=(0.3, 0.5, 0.7, 0.9, 1.0), duration=2.0e-9
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    finals = {curve.wordline_voltage: curve.final_voltage for curve in curves}
+    # Higher word-line voltage -> deeper discharge (monotone family of curves).
+    ordered = [finals[v] for v in sorted(finals)]
+    assert all(earlier >= later for earlier, later in zip(ordered, ordered[1:]))
+    # A '0'-ish input (0.3 V) leaves the line essentially at VDD while the
+    # full-scale input discharges by hundreds of millivolt.
+    assert finals[0.3] > 0.97
+    assert finals[1.0] < 0.6
+    # The strongest discharge leaves saturation inside the 2 ns window
+    # (paper Eq. 2 / the dotted saturation annotation of Fig. 4a).
+    strongest = [c for c in curves if c.wordline_voltage == 1.0][0]
+    assert strongest.leaves_saturation
+
+    lines = ["Fig. 4a: final V_BLB after 2 ns"]
+    for voltage in sorted(finals):
+        lines.append(f"  V_WL = {voltage:.1f} V -> V_BLB = {finals[voltage]:.3f} V")
+    lines.append(
+        f"  saturation limit at V_WL = 1.0 V crossed after "
+        f"{strongest.saturation_time * 1e9:.2f} ns"
+    )
+    print("\n" + "\n".join(lines))
+    write_result("fig4a_discharge_vs_time", "\n".join(lines))
+
+
+def test_fig4b_wordline_nonlinearity(benchmark, technology):
+    sweep = benchmark.pedantic(
+        lambda: discharge_vs_wordline_voltage(technology, sampling_time=1.28e-9),
+        rounds=1,
+        iterations=1,
+    )
+
+    discharge = sweep["discharge"]
+    # Monotone but nonlinear transfer: the deviation from the straight line
+    # between the endpoints is well above the millivolt scale.
+    assert np.all(np.diff(discharge) >= -1e-6)
+    assert float(np.max(np.abs(sweep["nonlinearity"]))) > 5e-3
+
+    lines = ["Fig. 4b: V_BLB vs V_WL sampled at 1.28 ns"]
+    for v_wl, v_bl in zip(sweep["wordline_voltage"], sweep["bitline_voltage"]):
+        lines.append(f"  V_WL = {v_wl:.2f} V -> V_BLB = {v_bl:.3f} V")
+    lines.append(
+        f"  worst-case deviation from linear transfer: "
+        f"{float(np.max(np.abs(sweep['nonlinearity']))) * 1e3:.1f} mV"
+    )
+    print("\n" + "\n".join(lines))
+    write_result("fig4b_wordline_nonlinearity", "\n".join(lines))

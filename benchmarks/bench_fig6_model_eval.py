@@ -1,0 +1,53 @@
+"""Paper Fig. 6 / Section IV-C — OPTIMA model evaluation (RMS errors).
+
+The paper fits Eq. 3-8 against 65 nm circuit-simulation data and reports RMS
+modelling errors of 0.76 / 0.88 / 0.76 / 0.59 mV and 0.15 / 0.74 fJ.  The
+benchmark runs the same calibration flow against this repository's reference
+simulator and reports the measured residuals next to the paper's values.
+The absolute numbers differ (different transistor data source); the claim
+being reproduced is that every residual stays in the low-millivolt /
+sub-femtojoule regime, i.e. below the read-out's LSB scale.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.model_evaluation import format_rms_table, model_rms_report, paper_rms_reference
+from repro.core.calibration import calibrate
+
+
+def test_fig6_model_rms_errors(benchmark, technology, suite, exploration):
+    # Time the full calibration flow (characterisation + fitting): this is
+    # the "develop behavioural models" step of the paper.
+    result = benchmark.pedantic(lambda: calibrate(technology), rounds=1, iterations=1)
+
+    rows = model_rms_report(technology)
+    table = format_rms_table(rows)
+
+    # Voltage models: low-millivolt accuracy; energy models: sub-femtojoule.
+    for row in rows:
+        if row["unit"] == "mV":
+            assert row["measured_rms"] < 8.0
+        else:
+            assert row["measured_rms"] < 1.0
+
+    # The fitted models must be accurate relative to the multiplier read-out:
+    # the worst voltage residual stays within a few product-LSBs.
+    fom_point = exploration.best_fom()
+    product_lsb_mv = fom_point.analysis.adc_lsb * 1e3
+    worst_voltage_mv = max(row["measured_rms"] for row in rows if row["unit"] == "mV")
+    assert worst_voltage_mv < 5.0 * product_lsb_mv
+
+    reference = paper_rms_reference()
+    lines = [
+        "Fig. 6 / Section IV-C: OPTIMA model RMS errors (paper vs measured)",
+        table,
+        "",
+        f"paper headline: worst voltage model RMS 0.88 mV "
+        f"(reference values: {', '.join(f'{v * 1e3:.2f} mV' for k, v in reference.items() if 'energy' not in k)})",
+        f"measured worst voltage model RMS: {worst_voltage_mv:.2f} mV "
+        f"({result.data.record_count()} reference records fitted)",
+    ]
+    print("\n" + "\n".join(lines))
+    write_result("fig6_model_rms", "\n".join(lines))

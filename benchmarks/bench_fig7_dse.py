@@ -1,0 +1,72 @@
+"""Paper Fig. 7 — design-space exploration corner sweeps.
+
+Fig. 7 plots the average multiplication error and energy per operation for
+48 design corners, swept against ``V_DAC,FS`` (left) and ``tau0`` (right) for
+the three ``V_DAC,0`` values.  The benchmark regenerates both sweeps with the
+OPTIMA-backed multiplier and asserts the trends the paper describes:
+
+* higher ``V_DAC,FS`` increases energy roughly linearly and generally
+  improves accuracy,
+* higher ``V_DAC,0`` / ``tau0`` increase energy,
+* ``tau0`` has only a minor influence on accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.design_space import figure7_slices
+from repro.core.dse import explore_design_space
+
+
+def test_fig7_design_space_sweeps(benchmark, suite, exploration):
+    # Time the exploration itself (48 corners, full input space each) — the
+    # operation the paper's speed-up argument is about.
+    fresh = benchmark.pedantic(lambda: explore_design_space(suite), rounds=1, iterations=1)
+    assert len(fresh.points) == 48
+
+    slices = figure7_slices(exploration)
+
+    # Left panel: sweep V_DAC,FS at the smallest tau0.
+    lines = ["Fig. 7 (left): sweep of V_DAC,FS at the smallest tau0"]
+    for v_zero in sorted({row["v_dac_zero"] for row in slices["versus_full_scale"]}):
+        rows = [r for r in slices["versus_full_scale"] if r["v_dac_zero"] == v_zero]
+        rows.sort(key=lambda r: r["v_dac_full_scale"])
+        energies = [r["energy_fj"] for r in rows]
+        errors = [r["eps_mul_lsb"] for r in rows]
+        # Energy grows monotonically with the full-scale voltage ...
+        assert np.all(np.diff(energies) > 0.0)
+        # ... roughly linearly (the increments stay within 2x of each other).
+        increments = np.diff(energies)
+        assert np.max(increments) < 2.0 * np.min(increments)
+        # Accuracy does not degrade when the full scale grows.
+        assert errors[-1] <= errors[0] + 0.5
+        lines.append(
+            f"  V0={v_zero:.1f} V: "
+            + ", ".join(
+                f"FS={r['v_dac_full_scale']:.1f}->({r['eps_mul_lsb']:.2f} LSB, {r['energy_fj']:.1f} fJ)"
+                for r in rows
+            )
+        )
+
+    # Right panel: sweep tau0 at the largest V_DAC,FS.
+    lines.append("Fig. 7 (right): sweep of tau0 at the largest V_DAC,FS")
+    for v_zero in sorted({row["v_dac_zero"] for row in slices["versus_tau0"]}):
+        rows = [r for r in slices["versus_tau0"] if r["v_dac_zero"] == v_zero]
+        rows.sort(key=lambda r: r["tau0_ns"])
+        energies = [r["energy_fj"] for r in rows]
+        errors = [r["eps_mul_lsb"] for r in rows]
+        assert np.all(np.diff(energies) > 0.0)
+        # tau0 has minimal influence on accuracy (paper's observation).
+        assert max(errors) - min(errors) < 3.0
+        lines.append(
+            f"  V0={v_zero:.1f} V: "
+            + ", ".join(
+                f"tau0={r['tau0_ns']:.2f}ns->({r['eps_mul_lsb']:.2f} LSB, {r['energy_fj']:.1f} fJ)"
+                for r in rows
+            )
+        )
+
+    print("\n" + "\n".join(lines))
+    write_result("fig7_design_space", "\n".join(lines))

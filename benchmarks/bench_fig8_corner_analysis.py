@@ -1,0 +1,64 @@
+"""Paper Fig. 8 — robustness analysis of the selected corners.
+
+Left column: average multiplication result and analogue standard deviation
+versus the expected result.  Right column: influence of supply-voltage and
+temperature variations on the average error.  The benchmark regenerates both
+for the fom / power / variation corners and asserts the paper's qualitative
+findings: the fom corner is the least susceptible to voltage and temperature
+variations, the variation corner is the most robust against mismatch at large
+discharges but performs worst for small operands.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.pvt import analyze_corner_robustness
+
+
+def test_fig8_corner_robustness(benchmark, suite, selected_corners):
+    def run_all():
+        return {
+            name: analyze_corner_robustness(suite, config)
+            for name, config in selected_corners.items()
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fom = reports["fom"]
+    power = reports["power"]
+    variation = reports["variation"]
+
+    # Left panels: transfer curves are monotone overall (correlation with the
+    # ideal product is high) and the variation corner deviates the most.
+    for report in reports.values():
+        assert report.transfer.expected.shape == report.transfer.mean_result.shape
+    assert variation.transfer.max_deviation() > fom.transfer.max_deviation()
+
+    # The variation corner is the least impacted by mismatch at the maximum
+    # discharge (its defining property) ...
+    assert variation.transfer.result_sigma_lsb[-1] <= power.transfer.result_sigma_lsb[-1]
+    # ... but performs notably worse than fom for small operand values.
+    assert variation.small_operand_error_lsb > fom.small_operand_error_lsb
+
+    # Right panels: the fom corner is the least susceptible to voltage and
+    # temperature variations among the selected corners.
+    assert max(fom.supply_sweep.mean_error_lsb) <= max(variation.supply_sweep.mean_error_lsb)
+    assert max(fom.temperature_sweep.mean_error_lsb) <= max(
+        variation.temperature_sweep.mean_error_lsb
+    )
+    # Off-nominal conditions increase the error for every corner.
+    for report in reports.values():
+        assert max(report.supply_sweep.mean_error_lsb) >= report.nominal_error_lsb - 1e-9
+        assert max(report.temperature_sweep.mean_error_lsb) >= report.nominal_error_lsb - 1e-9
+
+    lines = ["Fig. 8: robustness of the selected corners"]
+    for name, report in reports.items():
+        lines.append(f"  {name}: {report.describe()}")
+        lines.append(
+            f"      small-operand error {report.small_operand_error_lsb:.2f} LSB, "
+            f"max transfer deviation {report.transfer.max_deviation():.1f} LSB, "
+            f"sigma at max result {report.transfer.result_sigma_lsb[-1]:.2f} LSB"
+        )
+    print("\n" + "\n".join(lines))
+    write_result("fig8_corner_robustness", "\n".join(lines))

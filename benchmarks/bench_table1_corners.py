@@ -1,0 +1,73 @@
+"""Paper Table I — selected design corners (plus the headline numbers).
+
+Table I lists the three corners the design-space exploration selects (fom,
+power, variation) with their circuit parameters, average multiplication error
+and energy.  The benchmark regenerates the selection with this repository's
+exploration, prints the measured metrics next to the paper's values, and
+checks the qualitative relations the paper draws from the table:
+
+* the power corner has the minimum energy,
+* the fom corner has the best error/energy trade-off (and the lowest error
+  among the selected corners),
+* the variation corner is the one least impacted by process variation but
+  pays for it with the largest error, concentrated on small operands,
+* the full-operation energy lands at the picojoule scale (paper: 1.05 pJ)
+  and the operating frequency in the hundreds of MHz (paper: 167 MHz).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.design_space import (
+    corner_summary_rows,
+    format_table1,
+    paper_table1_reference,
+)
+
+
+def test_table1_selected_corners(benchmark, exploration):
+    rows = benchmark.pedantic(
+        lambda: corner_summary_rows(exploration), rounds=1, iterations=1
+    )
+    by_name = {row["corner"]: row for row in rows}
+
+    assert set(by_name) == {"fom", "power", "variation"}
+
+    # Energy ordering: power < fom < variation (paper: 37 < 44 < 69.8 fJ).
+    assert by_name["power"]["energy_fj"] < by_name["fom"]["energy_fj"]
+    assert by_name["fom"]["energy_fj"] < by_name["variation"]["energy_fj"]
+
+    # The fom corner is the most accurate of the three selected corners.
+    assert by_name["fom"]["eps_mul_lsb"] <= by_name["power"]["eps_mul_lsb"]
+    assert by_name["fom"]["eps_mul_lsb"] <= by_name["variation"]["eps_mul_lsb"]
+
+    # The variation corner has the smallest relative mismatch sigma but the
+    # largest small-operand error (the mechanism behind its DNN collapse).
+    assert by_name["variation"]["relative_sigma_percent"] <= by_name["power"]["relative_sigma_percent"]
+    assert (
+        by_name["variation"]["small_operand_error_lsb"]
+        > by_name["fom"]["small_operand_error_lsb"]
+    )
+
+    # Headline scales: tens of femtojoule per multiply, around a picojoule
+    # per full operation, >100 MHz operating frequency.
+    for row in rows:
+        assert 10.0 < row["energy_fj"] < 200.0
+        assert 0.1 < row["energy_per_operation_pj"] < 5.0
+        assert row["operating_frequency_mhz"] > 100.0
+
+    table = format_table1(rows, paper_table1_reference())
+    extra = [
+        "",
+        "full-operation energy (write + multiply):",
+    ]
+    for row in rows:
+        extra.append(
+            f"  {row['corner']:<10} {row['energy_per_operation_pj']:.2f} pJ "
+            f"(paper headline: 1.05 pJ for the fom corner), "
+            f"f_clk = {row['operating_frequency_mhz']:.0f} MHz (paper: 167 MHz)"
+        )
+    content = table + "\n" + "\n".join(extra)
+    print("\n" + content)
+    write_result("table1_selected_corners", content)

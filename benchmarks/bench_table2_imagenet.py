@@ -1,0 +1,86 @@
+"""Paper Table II — DNN classification accuracy (ImageNet-scale experiment).
+
+Table II evaluates VGG16/19 and ResNet50/101, INT4-quantised, with every
+multiplication executed by the fom / power / variation in-SRAM multiplier
+corners, on ImageNet.  The reproduction trains scaled-down counterparts of
+the four models on the 20-class synthetic "imagenet-like" dataset and runs
+the same five execution modes (FLOAT32, exact INT4, three corners).
+
+Reproduced shape (not absolute percentages):
+
+* FLOAT32 >= INT4 and the INT4 drop is small,
+* the fom corner is the best in-memory corner,
+* the power corner loses noticeably more accuracy,
+* the variation corner collapses (its small-operand error dominates DNN
+  workloads).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.dnn_tables import (
+    DnnExperimentConfig,
+    corner_backends,
+    format_accuracy_table,
+    paper_table2_reference,
+    run_dnn_accuracy_experiment,
+)
+from repro.dnn.datasets import imagenet_like
+
+
+def test_table2_imagenet_like_accuracy(benchmark, technology, suite, selected_corners):
+    config = DnnExperimentConfig(
+        image_size=16,
+        train_per_class=60,
+        test_per_class=20,
+        epochs=8,
+    )
+    backends = corner_backends(technology, suite=suite, corners=selected_corners)
+    dataset = imagenet_like(
+        image_size=config.image_size,
+        train_per_class=config.train_per_class,
+        test_per_class=config.test_per_class,
+    )
+
+    results = benchmark.pedantic(
+        lambda: run_dnn_accuracy_experiment(dataset, backends, config),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Persist the regenerated table before asserting its shape, so a failed
+    # expectation still leaves the artefact for inspection.
+    table = format_accuracy_table(results, paper_table2_reference())
+    print("\n" + table)
+    write_result("table2_imagenet_like", table)
+
+    assert set(results) == {"VGG16", "VGG19", "ResNet50", "ResNet101"}
+    for model, reports in results.items():
+        assert set(reports) == {"float32", "int4", "fom", "power", "variation"}
+        float32 = reports["float32"].top1
+        int4 = reports["int4"].top1
+        fom = reports["fom"].top1
+        variation = reports["variation"].top1
+        # The float model must actually learn the task, and INT4 must stay close.
+        assert float32 > 0.7, model
+        assert int4 > float32 - 0.25, model
+        # The fom corner is the best of the in-memory corners (small slack:
+        # the tiny models make per-model accuracies somewhat noisy).
+        assert fom >= reports["power"].top1 - 0.1, model
+        assert fom >= variation - 0.05, model
+        # The variation corner loses accuracy relative to the INT4 baseline.
+        assert variation < int4 - 0.05, model
+        # Top-5 dominates top-1 everywhere.
+        for report in reports.values():
+            assert report.top5 >= report.top1
+
+    # Aggregate (across the four models) shape of Table II: the variation
+    # corner collapses on average, and the mode ordering holds on average.
+    def average(mode: str) -> float:
+        return sum(reports[mode].top1 for reports in results.values()) / len(results)
+
+    assert average("variation") < average("int4") - 0.15
+    assert average("fom") >= average("power") - 0.02
+    assert average("power") >= average("variation") - 0.02
+    assert average("fom") >= average("variation") + 0.1

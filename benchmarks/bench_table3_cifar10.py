@@ -1,0 +1,84 @@
+"""Paper Table III — DNN classification accuracy (CIFAR-10-scale experiment).
+
+Table III repeats the Table II experiment on CIFAR-10: the backbones keep
+their weights, the classifier head is replaced by a 10-class layer and
+briefly retrained (transfer learning), then the same five execution modes are
+evaluated.  The reproduction follows the identical protocol on the synthetic
+"cifar10-like" dataset (base training on the 20-class set, transfer to the
+10-class set).
+
+To keep the benchmark runtime moderate it evaluates the two model families at
+one depth each (VGG16-style and ResNet50-style); the deeper variants exercise
+exactly the same code path in the Table II benchmark.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.dnn_tables import (
+    DnnExperimentConfig,
+    corner_backends,
+    format_accuracy_table,
+    paper_table3_reference,
+    run_dnn_accuracy_experiment,
+)
+from repro.dnn.datasets import cifar10_like, imagenet_like
+from repro.dnn.models import build_resnet50_like, build_vgg16_like
+
+
+def test_table3_cifar10_like_accuracy(benchmark, technology, suite, selected_corners):
+    config = DnnExperimentConfig(
+        image_size=16,
+        train_per_class=60,
+        test_per_class=20,
+        epochs=6,
+        transfer_epochs=4,
+    )
+    backends = corner_backends(technology, suite=suite, corners=selected_corners)
+    base_dataset = imagenet_like(
+        image_size=config.image_size,
+        train_per_class=config.train_per_class,
+        test_per_class=10,
+    )
+    dataset = cifar10_like(
+        image_size=config.image_size,
+        train_per_class=config.train_per_class,
+        test_per_class=config.test_per_class,
+    )
+    models = [
+        ("VGG16", lambda: build_vgg16_like((16, 16, 3), base_dataset.classes)),
+        ("ResNet50", lambda: build_resnet50_like((16, 16, 3), base_dataset.classes)),
+    ]
+
+    results = benchmark.pedantic(
+        lambda: run_dnn_accuracy_experiment(
+            dataset, backends, config, models=models, base_dataset=base_dataset
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Persist the regenerated table before asserting its shape, so a failed
+    # expectation still leaves the artefact for inspection.
+    table = format_accuracy_table(results, paper_table3_reference(), top5=False)
+    print("\n" + table)
+    write_result("table3_cifar10_like", table)
+
+    for model, reports in results.items():
+        float32 = reports["float32"].top1
+        int4 = reports["int4"].top1
+        # Transfer training must produce a working 10-class classifier.
+        assert float32 > 0.7, model
+        assert int4 > float32 - 0.25, model
+        # Corner ordering as in Table III: fom best, variation worst.
+        assert reports["fom"].top1 >= reports["variation"].top1 - 0.05, model
+        assert reports["fom"].top1 >= reports["power"].top1 - 0.1, model
+        assert reports["variation"].top1 < int4 - 0.05, model
+
+    # Aggregate shape across the evaluated models.
+    def average(mode: str) -> float:
+        return sum(reports[mode].top1 for reports in results.values()) / len(results)
+
+    assert average("variation") < average("int4") - 0.1
+    assert average("fom") >= average("variation") + 0.05

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper.
+The benchmarks use ``benchmark.pedantic(..., rounds=1)`` for the heavy
+experiments (they are reproductions, not micro-benchmarks), print the
+regenerated rows next to the paper's numbers, and additionally write them to
+``benchmarks/results/`` so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.circuits.technology import tsmc65_like
+from repro.core.calibration import calibrated_suite
+from repro.core.dse import explore_design_space
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, content: str) -> pathlib.Path:
+    """Persist a regenerated table / figure as a text artefact."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The default 65 nm-class technology card."""
+    return tsmc65_like()
+
+
+@pytest.fixture(scope="session")
+def calibration(technology):
+    """Session-wide OPTIMA calibration (characterisation + fitting)."""
+    return calibrated_suite(technology)
+
+
+@pytest.fixture(scope="session")
+def suite(calibration):
+    """Fitted OPTIMA model suite."""
+    return calibration.suite
+
+
+@pytest.fixture(scope="session")
+def exploration(suite):
+    """Session-wide 48-corner design-space exploration."""
+    return explore_design_space(suite)
+
+
+@pytest.fixture(scope="session")
+def selected_corners(exploration):
+    """The fom / power / variation corners selected by the exploration."""
+    return {corner.name: corner.config for corner in exploration.selected_corners()}

@@ -1,0 +1,24 @@
+"""repro — reproduction of the OPTIMA in-SRAM computing modeling framework.
+
+The package is organised in layers, bottom-up:
+
+* :mod:`repro.circuits` — transistor-level reference substrate (the
+  Cadence/SPICE stand-in): 6T SRAM cell, bit-line discharge ODE solver,
+  PVT corners and Pelgrom mismatch.
+* :mod:`repro.converters` — DAC / ADC / sampling-network periphery.
+* :mod:`repro.core` — the OPTIMA contribution: polynomial behavioural
+  models of the bit-line discharge and energy (paper Eq. 3-8), least-squares
+  calibration, design-space exploration, PVT / Monte-Carlo analysis and
+  speed-up measurement.
+* :mod:`repro.eventsim` — event-driven simulation kernel hosting the fast
+  behavioural models (the SystemVerilog stand-in).
+* :mod:`repro.multiplier` — the 4-bit discharge-based in-SRAM multiplier
+  case study (paper Section V).
+* :mod:`repro.dnn` — NumPy DNN substrate with INT4 quantisation and
+  in-memory-multiplier injection (paper Section VI).
+* :mod:`repro.analysis` — one driver per paper table / figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,119 @@
+"""PVT influence sweeps on the reference simulator (paper Fig. 5).
+
+Fig. 5 shows how supply voltage, temperature, global process corners and
+local transistor mismatch move the bit-line discharge.  Each function below
+reproduces one panel and returns flat arrays ready for assertion or
+plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.conditions import OperatingConditions, celsius_to_kelvin
+from repro.circuits.mismatch import MismatchParameters, MismatchSampler
+from repro.circuits.technology import ProcessCorner, TechnologyCard
+from repro.circuits.transient import TransientSolver
+
+
+def supply_sweep(
+    technology: TechnologyCard,
+    wordline_voltage: float = 0.9,
+    duration: float = 2.0e-9,
+    supply_voltages: Sequence[float] = (0.9, 1.0, 1.1),
+) -> Dict[float, np.ndarray]:
+    """Fig. 5a: V_BLB(t) for several supply voltages.
+
+    Returns a mapping from supply voltage to the voltage trace; the shared
+    time axis is stored under the key ``-1.0``.
+    """
+    solver = TransientSolver(technology)
+    traces: Dict[float, np.ndarray] = {}
+    times: Optional[np.ndarray] = None
+    for vdd in supply_voltages:
+        conditions = OperatingConditions(vdd=float(vdd), temperature=technology.temperature_nominal)
+        result = solver.simulate_discharge(wordline_voltage, duration, conditions)
+        traces[float(vdd)] = np.atleast_1d(result.voltages)
+        times = result.times
+    traces[-1.0] = times if times is not None else np.array([])
+    return traces
+
+
+def temperature_sweep(
+    technology: TechnologyCard,
+    wordline_voltage: float = 0.9,
+    duration: float = 2.0e-9,
+    temperatures_celsius: Sequence[float] = (0.0, 27.0, 70.0),
+) -> Dict[float, np.ndarray]:
+    """Fig. 5b: V_BLB(t) for several junction temperatures."""
+    solver = TransientSolver(technology)
+    traces: Dict[float, np.ndarray] = {}
+    times: Optional[np.ndarray] = None
+    for temperature_c in temperatures_celsius:
+        conditions = OperatingConditions(
+            vdd=technology.vdd_nominal,
+            temperature=celsius_to_kelvin(float(temperature_c)),
+        )
+        result = solver.simulate_discharge(wordline_voltage, duration, conditions)
+        traces[float(temperature_c)] = np.atleast_1d(result.voltages)
+        times = result.times
+    traces[-1.0] = times if times is not None else np.array([])
+    return traces
+
+
+def corner_sweep(
+    technology: TechnologyCard,
+    wordline_voltage: float = 0.9,
+    duration: float = 2.0e-9,
+) -> Dict[str, np.ndarray]:
+    """Fig. 5c: V_BLB(t) for the fast / typical / slow process corners."""
+    solver = TransientSolver(technology)
+    traces: Dict[str, np.ndarray] = {}
+    times: Optional[np.ndarray] = None
+    for corner in (ProcessCorner.FAST, ProcessCorner.TYPICAL, ProcessCorner.SLOW):
+        conditions = OperatingConditions(
+            vdd=technology.vdd_nominal,
+            temperature=technology.temperature_nominal,
+            corner=corner,
+        )
+        result = solver.simulate_discharge(wordline_voltage, duration, conditions)
+        traces[corner.value] = np.atleast_1d(result.voltages)
+        times = result.times
+    traces["time"] = times if times is not None else np.array([])
+    return traces
+
+
+def mismatch_monte_carlo(
+    technology: TechnologyCard,
+    wordline_voltage: float = 0.9,
+    duration: float = 2.0e-9,
+    samples: int = 1000,
+    seed: int = 2024,
+    sampling_times: Sequence[float] = (0.5e-9, 1.0e-9, 1.5e-9, 2.0e-9),
+) -> Dict[str, np.ndarray]:
+    """Fig. 5d: Monte-Carlo mismatch spread of the discharge.
+
+    Returns the per-sample final voltages plus the standard deviation of the
+    discharge at several sampling instants (the sigma-versus-time behaviour
+    that Eq. 6 models).
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    solver = TransientSolver(technology)
+    conditions = OperatingConditions.nominal(technology)
+    sampler = MismatchSampler(MismatchParameters.from_technology(technology), seed=seed)
+    arrays = sampler.sample_arrays(samples)
+    result = solver.simulate_discharge(
+        wordline_voltage, duration, conditions, mismatch=arrays
+    )
+    sigma_at = np.array(
+        [float(np.std(result.voltage_at(float(t)))) for t in sampling_times]
+    )
+    return {
+        "times": result.times,
+        "final_voltages": np.atleast_1d(result.final_voltage),
+        "sampling_times": np.asarray(sampling_times, dtype=float),
+        "sigma_at_sampling_times": sigma_at,
+    }

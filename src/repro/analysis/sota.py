@@ -1,0 +1,91 @@
+"""State-of-the-art in-SRAM multiplier design points (paper Fig. 1).
+
+Fig. 1 is a literature survey comparing published discharge-based in-SRAM
+multiplication circuits along clock frequency, energy per MAC and operand
+bit width.  The numbers below are the published values of the four designs
+the paper compares ([8] IMAC, [14] Sanni et al., [15] AID, [16] Gong et
+al.), as read from the respective publications; the figure-reproduction
+benchmark prints them next to the configuration OPTIMA's exploration selects
+so the "where does the optimised multiplier land" comparison can be made.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+
+@dataclasses.dataclass(frozen=True)
+class SotaDesignPoint:
+    """One published design point of the Fig. 1 comparison."""
+
+    reference: str
+    label: str
+    clock_mhz: float
+    energy_pj_per_mac: float
+    bit_width: int
+    technology_nm: int
+
+    def mac_energy_reduction_potential(self, baseline_pj: float = 3.7) -> float:
+        """Energy-reduction factor versus a digital MAC baseline.
+
+        The default baseline is a representative 65 nm digital 8-bit MAC
+        energy (a few picojoule); the factor is only used for the
+        qualitative "reduction potential" bars of Fig. 1.
+        """
+        if baseline_pj <= 0.0:
+            raise ValueError("baseline_pj must be positive")
+        return baseline_pj / self.energy_pj_per_mac
+
+
+def sota_design_points() -> List[SotaDesignPoint]:
+    """Published design points of the paper's Fig. 1 comparison."""
+    return [
+        SotaDesignPoint(
+            reference="[8]",
+            label="IMAC (Ali et al., TCAS-I 2020)",
+            clock_mhz=60.0,
+            energy_pj_per_mac=0.08,
+            bit_width=4,
+            technology_nm=65,
+        ),
+        SotaDesignPoint(
+            reference="[14]",
+            label="Sanni et al. (ISCAS 2018)",
+            clock_mhz=51.0,
+            energy_pj_per_mac=1.1,
+            bit_width=6,
+            technology_nm=65,
+        ),
+        SotaDesignPoint(
+            reference="[15]",
+            label="AID (Seyedfaraji et al., DATE 2022)",
+            clock_mhz=250.0,
+            energy_pj_per_mac=0.12,
+            bit_width=4,
+            technology_nm=65,
+        ),
+        SotaDesignPoint(
+            reference="[16]",
+            label="Gong et al. (TCAS-II 2020)",
+            clock_mhz=100.0,
+            energy_pj_per_mac=0.735,
+            bit_width=8,
+            technology_nm=65,
+        ),
+    ]
+
+
+def format_sota_table(points: List[SotaDesignPoint]) -> str:
+    """Fixed-width text rendering of the Fig. 1 design-space comparison."""
+    header = (
+        f"{'ref':<6}{'design':<38}{'clock [MHz]':>12}"
+        f"{'energy [pJ/MAC]':>18}{'bit width':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.reference:<6}{point.label:<38}{point.clock_mhz:>12.0f}"
+            f"{point.energy_pj_per_mac:>18.3f}{point.bit_width:>11d}"
+        )
+    return "\n".join(lines)

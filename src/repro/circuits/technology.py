@@ -1,0 +1,223 @@
+"""Technology card for the 65 nm-class reference process.
+
+The OPTIMA paper fits its behavioural models against transient simulations of
+a TSMC 65 nm CMOS technology.  That PDK is proprietary, so this module
+defines an openly parameterised technology card whose headline numbers
+(nominal supply, threshold voltage, bit-line capacitance, transistor
+dimensions, mismatch coefficients) are representative of a 65 nm low-power
+process.  Every downstream experiment reads its device and parasitic values
+from a :class:`TechnologyCard`, so exploring a different process node only
+requires constructing a different card.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict
+
+
+class ProcessCorner(enum.Enum):
+    """Global process corner of the NMOS devices in the discharge path.
+
+    Only the NMOS corner matters for the read/discharge behaviour of the 6T
+    cell (the discharge path is two stacked NMOS transistors), which is why
+    the corner enum is single-axis rather than the usual two-letter NMOS/PMOS
+    notation.
+    """
+
+    FAST = "fast"
+    TYPICAL = "typical"
+    SLOW = "slow"
+
+    @property
+    def threshold_shift(self) -> float:
+        """Systematic threshold-voltage shift of this corner in volts."""
+        return _CORNER_VTH_SHIFT[self]
+
+    @property
+    def gain_factor(self) -> float:
+        """Multiplicative shift of the transconductance parameter."""
+        return _CORNER_GAIN_FACTOR[self]
+
+
+_CORNER_VTH_SHIFT: Dict[ProcessCorner, float] = {
+    ProcessCorner.FAST: -0.040,
+    ProcessCorner.TYPICAL: 0.0,
+    ProcessCorner.SLOW: +0.040,
+}
+
+_CORNER_GAIN_FACTOR: Dict[ProcessCorner, float] = {
+    ProcessCorner.FAST: 1.12,
+    ProcessCorner.TYPICAL: 1.0,
+    ProcessCorner.SLOW: 0.88,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TechnologyCard:
+    """Process, device and parasitic parameters of the reference technology.
+
+    All values are in SI units (volts, amperes, seconds, farads, metres,
+    kelvin) unless the attribute name says otherwise.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier of the card.
+    vdd_nominal:
+        Nominal supply voltage.
+    vth_nominal:
+        Nominal NMOS threshold voltage at the nominal temperature.
+    alpha:
+        Velocity-saturation exponent of the alpha-power-law MOSFET model.
+        ``alpha == 2`` recovers the long-channel square law; short-channel
+        65 nm devices sit around 1.2-1.4.
+    k_prime:
+        Process transconductance ``mu_eff * C_ox`` in A/V^alpha per square
+        (i.e. for W == L).  Device currents scale with ``W / L``.
+    channel_length_modulation:
+        Early-effect coefficient ``lambda`` in 1/V.
+    subthreshold_swing:
+        Sub-threshold swing in V/decade at the nominal temperature.
+    subthreshold_leak_current:
+        Drain current of a square device at ``V_GS == V_th`` (the edge of
+        conduction), used to anchor the sub-threshold exponential.
+    vth_temperature_coefficient:
+        dVth/dT in V/K (negative: the threshold drops when heated).
+    mobility_temperature_exponent:
+        Exponent of the ``(T / T_nom) ** -x`` mobility degradation law.
+    temperature_nominal:
+        Nominal junction temperature in kelvin.
+    access_width, access_length:
+        Drawn dimensions of the 6T access transistors (M5/M6) in metres.
+    pulldown_width, pulldown_length:
+        Drawn dimensions of the pull-down transistors (M2/M4).
+    pullup_width, pullup_length:
+        Drawn dimensions of the PMOS pull-ups (M1/M3); only used for leakage
+        and write-energy estimates.
+    bitline_capacitance:
+        Total bit-line capacitance seen by one column (wire + drain
+        junctions of all attached cells).
+    wordline_capacitance:
+        Word-line capacitance seen by the DAC / WL driver for one row.
+    cell_internal_capacitance:
+        Capacitance of the internal storage nodes Q / Q-bar.
+    sampling_capacitance:
+        Capacitance of the switched sampling capacitor used by the
+        multiplier read-out.
+    pelgrom_avt:
+        Pelgrom area coefficient for threshold mismatch in V*m.
+    pelgrom_abeta:
+        Pelgrom area coefficient for current-factor mismatch (relative,
+        dimension m).
+    """
+
+    name: str = "generic-65nm"
+    vdd_nominal: float = 1.0
+    vth_nominal: float = 0.35
+    alpha: float = 1.3
+    k_prime: float = 2.0e-5
+    channel_length_modulation: float = 0.08
+    subthreshold_swing: float = 0.090
+    subthreshold_leak_current: float = 2.0e-7
+    vth_temperature_coefficient: float = -8.0e-4
+    mobility_temperature_exponent: float = 1.5
+    temperature_nominal: float = 300.15
+    access_width: float = 120e-9
+    access_length: float = 65e-9
+    pulldown_width: float = 180e-9
+    pulldown_length: float = 65e-9
+    pullup_width: float = 90e-9
+    pullup_length: float = 65e-9
+    bitline_capacitance: float = 50e-15
+    wordline_capacitance: float = 30e-15
+    cell_internal_capacitance: float = 0.5e-15
+    sampling_capacitance: float = 8e-15
+    pelgrom_avt: float = 3.5e-9
+    pelgrom_abeta: float = 1.0e-8
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0.0:
+            raise ValueError("vdd_nominal must be positive")
+        if not 0.0 < self.vth_nominal < self.vdd_nominal:
+            raise ValueError("vth_nominal must lie between 0 and vdd_nominal")
+        if self.alpha < 1.0 or self.alpha > 2.0:
+            raise ValueError("alpha must lie in [1, 2]")
+        if self.k_prime <= 0.0:
+            raise ValueError("k_prime must be positive")
+        if self.bitline_capacitance <= 0.0:
+            raise ValueError("bitline_capacitance must be positive")
+        if self.subthreshold_swing <= 0.0:
+            raise ValueError("subthreshold_swing must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def thermal_voltage(self, temperature: float) -> float:
+        """Thermal voltage kT/q at ``temperature`` (kelvin)."""
+        boltzmann_over_charge = 8.617333262e-5
+        return boltzmann_over_charge * temperature
+
+    def threshold_voltage(
+        self,
+        temperature: float,
+        corner: ProcessCorner = ProcessCorner.TYPICAL,
+    ) -> float:
+        """Threshold voltage including corner shift and temperature drift."""
+        delta_t = temperature - self.temperature_nominal
+        return (
+            self.vth_nominal
+            + corner.threshold_shift
+            + self.vth_temperature_coefficient * delta_t
+        )
+
+    def mobility_factor(
+        self,
+        temperature: float,
+        corner: ProcessCorner = ProcessCorner.TYPICAL,
+    ) -> float:
+        """Relative mobility degradation factor vs the nominal temperature."""
+        ratio = temperature / self.temperature_nominal
+        return corner.gain_factor * ratio ** (-self.mobility_temperature_exponent)
+
+    def device_gain(
+        self,
+        width: float,
+        length: float,
+        temperature: float,
+        corner: ProcessCorner = ProcessCorner.TYPICAL,
+    ) -> float:
+        """Transconductance parameter of a ``width`` x ``length`` device."""
+        if width <= 0.0 or length <= 0.0:
+            raise ValueError("device dimensions must be positive")
+        return self.k_prime * (width / length) * self.mobility_factor(temperature, corner)
+
+    def mismatch_sigma_vth(self, width: float, length: float) -> float:
+        """Pelgrom threshold-voltage mismatch sigma for one device."""
+        if width <= 0.0 or length <= 0.0:
+            raise ValueError("device dimensions must be positive")
+        return self.pelgrom_avt / math.sqrt(width * length)
+
+    def mismatch_sigma_beta(self, width: float, length: float) -> float:
+        """Pelgrom relative current-factor mismatch sigma for one device."""
+        if width <= 0.0 or length <= 0.0:
+            raise ValueError("device dimensions must be positive")
+        return self.pelgrom_abeta / math.sqrt(width * length)
+
+    def scaled(self, **overrides: float) -> "TechnologyCard":
+        """Return a copy of the card with selected fields overridden."""
+        return dataclasses.replace(self, **overrides)
+
+
+def tsmc65_like() -> TechnologyCard:
+    """Return the default 65 nm-class technology card used by the paper repro.
+
+    The values are not taken from any proprietary PDK; they are chosen so
+    that the reference simulator produces discharge swings of a few hundred
+    millivolts within roughly two nanoseconds and per-operation energies of a
+    few tens of femtojoules, matching the operating regime reported in the
+    OPTIMA paper.
+    """
+    return TechnologyCard(name="tsmc65-like")

@@ -1,0 +1,28 @@
+"""Mixed-signal periphery of the discharge-based multiplier.
+
+The in-SRAM multiplier of paper Section V surrounds the SRAM array with a
+small amount of mixed-signal circuitry:
+
+* a word-line DAC that converts the digital input operand into an analogue
+  word-line voltage (:mod:`repro.converters.dac`),
+* a switch/capacitor sampling network that captures and combines the
+  per-bit-line discharges (:mod:`repro.converters.sampling`),
+* an ADC that digitises the combined discharge
+  (:mod:`repro.converters.adc`).
+
+These converters are behavioural: they model transfer functions,
+quantisation and energy, not transistor netlists, because that is the level
+at which the OPTIMA design-space exploration reasons about them.
+"""
+
+from repro.converters.adc import Adc
+from repro.converters.dac import LinearDac, NonlinearCompensatingDac
+from repro.converters.sampling import ChargeSharingCombiner, SamplingNetwork
+
+__all__ = [
+    "Adc",
+    "ChargeSharingCombiner",
+    "LinearDac",
+    "NonlinearCompensatingDac",
+    "SamplingNetwork",
+]

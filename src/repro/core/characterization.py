@@ -1,0 +1,357 @@
+"""Reference-simulator characterisation sweeps.
+
+OPTIMA's behavioural models are fitted against "extensive simulation data"
+(paper Section IV-C).  This module defines which sweeps make up that data and
+runs them on the transistor-level reference simulator:
+
+* a base discharge sweep over (time, word-line voltage) at nominal PVT,
+* a supply sweep adding a V_DD axis,
+* a temperature sweep adding a temperature axis,
+* a mismatch Monte-Carlo sweep measuring the discharge sigma over
+  (time, word-line voltage),
+* write-energy and discharge-energy tables.
+
+Every sweep is returned as flat, column-oriented NumPy arrays so the fitting
+code can feed them straight into least-squares solvers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.conditions import OperatingConditions, celsius_to_kelvin
+from repro.circuits.energy import EnergyModelReference
+from repro.circuits.mismatch import MismatchParameters, MismatchSampler
+from repro.circuits.technology import TechnologyCard
+from repro.circuits.transient import TransientSolver
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizationPlan:
+    """Definition of the characterisation sweeps.
+
+    Attributes
+    ----------
+    times:
+        Sampling instants of the discharge waveforms, in seconds.
+    wordline_voltages:
+        Word-line (DAC output) voltages to sweep.
+    supply_voltages:
+        Supply voltages of the V_DD sweep.
+    temperatures_celsius:
+        Junction temperatures of the temperature sweep, in degrees Celsius.
+    mismatch_wordline_voltages:
+        Word-line voltages at which the mismatch sigma is measured.
+    mismatch_samples:
+        Monte-Carlo sample count per mismatch measurement point.
+    mismatch_seed:
+        Seed of the mismatch sampler (keeps calibration deterministic).
+    """
+
+    times: tuple = tuple(np.linspace(0.1e-9, 2.0e-9, 12))
+    wordline_voltages: tuple = tuple(np.linspace(0.25, 1.05, 13))
+    supply_voltages: tuple = (0.90, 0.95, 1.00, 1.05, 1.10)
+    temperatures_celsius: tuple = (0.0, 27.0, 50.0, 75.0)
+    mismatch_wordline_voltages: tuple = (0.35, 0.5, 0.65, 0.8, 0.9, 1.0)
+    mismatch_samples: int = 250
+    mismatch_seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if len(self.times) < 3:
+            raise ValueError("need at least three sampling times")
+        if len(self.wordline_voltages) < 4:
+            raise ValueError("need at least four word-line voltages")
+        if self.mismatch_samples < 10:
+            raise ValueError("mismatch_samples must be at least 10")
+
+    @classmethod
+    def quick(cls) -> "CharacterizationPlan":
+        """A reduced plan for unit tests (seconds instead of tens of seconds)."""
+        return cls(
+            times=tuple(np.linspace(0.2e-9, 2.0e-9, 6)),
+            wordline_voltages=tuple(np.linspace(0.3, 1.0, 7)),
+            supply_voltages=(0.9, 1.0, 1.1),
+            temperatures_celsius=(0.0, 27.0, 70.0),
+            mismatch_wordline_voltages=(0.5, 0.8, 1.0),
+            mismatch_samples=60,
+        )
+
+
+@dataclasses.dataclass
+class DischargeSweep:
+    """Flat table of one bit-line discharge sweep."""
+
+    time: np.ndarray
+    wordline_voltage: np.ndarray
+    vdd: np.ndarray
+    temperature: np.ndarray
+    bitline_voltage: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+    def discharge(self) -> np.ndarray:
+        """Discharge ``V_DD - V_BLB`` of every record."""
+        return self.vdd - self.bitline_voltage
+
+
+@dataclasses.dataclass
+class MismatchSweep:
+    """Flat table of the mismatch-sigma measurement."""
+
+    time: np.ndarray
+    wordline_voltage: np.ndarray
+    sigma: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.time.size)
+
+
+@dataclasses.dataclass
+class WriteEnergySweep:
+    """Flat table of the write-energy measurement."""
+
+    vdd: np.ndarray
+    temperature: np.ndarray
+    energy: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.vdd.size)
+
+
+@dataclasses.dataclass
+class DischargeEnergySweep:
+    """Flat table of the discharge-energy measurement."""
+
+    vdd: np.ndarray
+    temperature: np.ndarray
+    delta_v_bl: np.ndarray
+    wordline_voltage: np.ndarray
+    energy: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.vdd.size)
+
+
+@dataclasses.dataclass
+class CharacterizationData:
+    """All sweeps needed to fit the OPTIMA models."""
+
+    base: DischargeSweep
+    supply: DischargeSweep
+    temperature: DischargeSweep
+    mismatch: MismatchSweep
+    write_energy: WriteEnergySweep
+    discharge_energy: DischargeEnergySweep
+    technology: TechnologyCard
+    plan: CharacterizationPlan
+
+    def record_count(self) -> int:
+        """Total number of reference-simulation records across all sweeps."""
+        return (
+            len(self.base)
+            + len(self.supply)
+            + len(self.temperature)
+            + len(self.mismatch)
+            + len(self.write_energy)
+            + len(self.discharge_energy)
+        )
+
+
+def _sample_waveforms(
+    solver: TransientSolver,
+    wordline_voltages: np.ndarray,
+    times: np.ndarray,
+    conditions: OperatingConditions,
+) -> np.ndarray:
+    """Run one transient per word-line voltage and sample it at ``times``.
+
+    Returns an array of shape ``(len(wordline_voltages), len(times))``.
+    """
+    duration = float(times.max())
+    result = solver.simulate_discharge(wordline_voltages, duration, conditions)
+    sampled = np.empty((wordline_voltages.size, times.size))
+    for column, time in enumerate(times):
+        sampled[:, column] = np.atleast_1d(result.voltage_at(float(time)))
+    return sampled
+
+
+def characterize(
+    technology: TechnologyCard,
+    plan: Optional[CharacterizationPlan] = None,
+    solver: Optional[TransientSolver] = None,
+    energy_reference: Optional[EnergyModelReference] = None,
+) -> CharacterizationData:
+    """Run every characterisation sweep on the reference simulator.
+
+    Parameters
+    ----------
+    technology:
+        Technology card to characterise.
+    plan:
+        Sweep definition; the default plan matches the fitting ranges used
+        for the paper-scale experiments, :meth:`CharacterizationPlan.quick`
+        is for tests.
+    solver, energy_reference:
+        Optional pre-built reference engines (injected by tests).
+    """
+    plan = plan or CharacterizationPlan()
+    solver = solver or TransientSolver(technology)
+    energy_reference = energy_reference or EnergyModelReference(technology)
+
+    times = np.asarray(plan.times, dtype=float)
+    v_wl = np.asarray(plan.wordline_voltages, dtype=float)
+    vdd_values = np.asarray(plan.supply_voltages, dtype=float)
+    temperatures = np.asarray(
+        [celsius_to_kelvin(t) for t in plan.temperatures_celsius], dtype=float
+    )
+    nominal = OperatingConditions.nominal(technology)
+
+    # ------------------------------------------------------------------
+    # Base sweep (nominal PVT)
+    # ------------------------------------------------------------------
+    base_voltages = _sample_waveforms(solver, v_wl, times, nominal)
+    grid_wl, grid_t = np.meshgrid(v_wl, times, indexing="ij")
+    base = DischargeSweep(
+        time=grid_t.ravel(),
+        wordline_voltage=grid_wl.ravel(),
+        vdd=np.full(grid_t.size, nominal.vdd),
+        temperature=np.full(grid_t.size, nominal.temperature),
+        bitline_voltage=base_voltages.ravel(),
+    )
+
+    # ------------------------------------------------------------------
+    # Supply sweep
+    # ------------------------------------------------------------------
+    supply_rows: List[np.ndarray] = []
+    for vdd in vdd_values:
+        conditions = nominal.with_vdd(float(vdd))
+        sampled = _sample_waveforms(solver, v_wl, times, conditions)
+        supply_rows.append(
+            np.column_stack(
+                [
+                    grid_t.ravel(),
+                    grid_wl.ravel(),
+                    np.full(grid_t.size, vdd),
+                    np.full(grid_t.size, nominal.temperature),
+                    sampled.ravel(),
+                ]
+            )
+        )
+    supply_table = np.vstack(supply_rows)
+    supply = DischargeSweep(
+        time=supply_table[:, 0],
+        wordline_voltage=supply_table[:, 1],
+        vdd=supply_table[:, 2],
+        temperature=supply_table[:, 3],
+        bitline_voltage=supply_table[:, 4],
+    )
+
+    # ------------------------------------------------------------------
+    # Temperature sweep
+    # ------------------------------------------------------------------
+    temperature_rows: List[np.ndarray] = []
+    for temperature in temperatures:
+        conditions = nominal.with_temperature(float(temperature))
+        sampled = _sample_waveforms(solver, v_wl, times, conditions)
+        temperature_rows.append(
+            np.column_stack(
+                [
+                    grid_t.ravel(),
+                    grid_wl.ravel(),
+                    np.full(grid_t.size, nominal.vdd),
+                    np.full(grid_t.size, temperature),
+                    sampled.ravel(),
+                ]
+            )
+        )
+    temperature_table = np.vstack(temperature_rows)
+    temperature_sweep = DischargeSweep(
+        time=temperature_table[:, 0],
+        wordline_voltage=temperature_table[:, 1],
+        vdd=temperature_table[:, 2],
+        temperature=temperature_table[:, 3],
+        bitline_voltage=temperature_table[:, 4],
+    )
+
+    # ------------------------------------------------------------------
+    # Mismatch Monte-Carlo sweep
+    # ------------------------------------------------------------------
+    sampler = MismatchSampler(
+        MismatchParameters.from_technology(technology), seed=plan.mismatch_seed
+    )
+    mismatch_arrays = sampler.sample_arrays(plan.mismatch_samples)
+    mc_v_wl = np.asarray(plan.mismatch_wordline_voltages, dtype=float)
+    duration = float(times.max())
+    mc_result = solver.simulate_discharge(
+        mc_v_wl[:, np.newaxis], duration, nominal, mismatch=mismatch_arrays
+    )
+    sigma_table = np.empty((mc_v_wl.size, times.size))
+    for column, time in enumerate(times):
+        voltages = mc_result.voltage_at(float(time))
+        sigma_table[:, column] = np.std(voltages, axis=1)
+    mc_grid_wl, mc_grid_t = np.meshgrid(mc_v_wl, times, indexing="ij")
+    mismatch = MismatchSweep(
+        time=mc_grid_t.ravel(),
+        wordline_voltage=mc_grid_wl.ravel(),
+        sigma=sigma_table.ravel(),
+    )
+
+    # ------------------------------------------------------------------
+    # Write-energy table
+    # ------------------------------------------------------------------
+    write_vdd, write_temp = np.meshgrid(vdd_values, temperatures, indexing="ij")
+    write_energy_values = np.array(
+        [
+            energy_reference.write_energy(
+                OperatingConditions(vdd=float(v), temperature=float(t), corner=nominal.corner)
+            )
+            for v, t in zip(write_vdd.ravel(), write_temp.ravel())
+        ]
+    )
+    write_energy = WriteEnergySweep(
+        vdd=write_vdd.ravel(),
+        temperature=write_temp.ravel(),
+        energy=write_energy_values,
+    )
+
+    # ------------------------------------------------------------------
+    # Discharge-energy table (derived from the supply / temperature sweeps)
+    # ------------------------------------------------------------------
+    energy_sources = [supply, temperature_sweep]
+    vdd_column = np.concatenate([sweep.vdd for sweep in energy_sources])
+    temp_column = np.concatenate([sweep.temperature for sweep in energy_sources])
+    delta_column = np.concatenate([sweep.discharge() for sweep in energy_sources])
+    wl_column = np.concatenate([sweep.wordline_voltage for sweep in energy_sources])
+    energy_column = np.array(
+        [
+            energy_reference.discharge_energy(
+                float(delta),
+                float(wl),
+                OperatingConditions(vdd=float(v), temperature=float(t), corner=nominal.corner),
+            )
+            for delta, wl, v, t in zip(delta_column, wl_column, vdd_column, temp_column)
+        ],
+        dtype=float,
+    )
+    discharge_energy = DischargeEnergySweep(
+        vdd=vdd_column,
+        temperature=temp_column,
+        delta_v_bl=delta_column,
+        wordline_voltage=wl_column,
+        energy=energy_column,
+    )
+
+    return CharacterizationData(
+        base=base,
+        supply=supply,
+        temperature=temperature_sweep,
+        mismatch=mismatch,
+        write_energy=write_energy,
+        discharge_energy=discharge_energy,
+        technology=technology,
+        plan=plan,
+    )

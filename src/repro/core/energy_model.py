@@ -1,0 +1,97 @@
+"""OPTIMA energy models (paper Eq. 7-8).
+
+Two behavioural energy models complement the discharge model:
+
+* Eq. 7 — write energy: ``E_wr(V_DD, T) = p2(V_DD) * p1(T)``.  The write is
+  data-independent because the 6T layout is symmetric.
+* Eq. 8 — discharge energy:
+  ``E_dc(d, V_DD, V_WL, T) = p1(V_DD) * p3(dV_BL) * p1(T)`` where the
+  bit-line swing ``dV_BL`` itself comes from the discharge model
+  (Eq. 3-5), so the data and word-line dependence enter through it.
+
+Both are thin wrappers around :class:`repro.core.polynomials.SeparableProductModel`
+with domain-specific call signatures and serialisation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.polynomials import SeparableProductModel
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclasses.dataclass
+class WriteEnergyModel:
+    """Paper Eq. 7: ``E_wr(V_DD, T) = p2(V_DD) * p1(T)`` (per written bit)."""
+
+    model: SeparableProductModel
+
+    @classmethod
+    def with_default_degrees(cls) -> "WriteEnergyModel":
+        """Unfitted model with the paper's polynomial degrees (2 and 1)."""
+        return cls(
+            SeparableProductModel(degrees=(2, 1), variables=("vdd", "temperature"))
+        )
+
+    def energy(self, vdd: ArrayLike, temperature: ArrayLike) -> np.ndarray:
+        """Write energy in joules per bit (non-negative)."""
+        return np.maximum(
+            np.asarray(self.model(vdd, temperature), dtype=float), 0.0
+        )
+
+    def word_energy(self, vdd: ArrayLike, temperature: ArrayLike, bits: int = 4) -> np.ndarray:
+        """Write energy of a ``bits``-wide word."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        return bits * self.energy(vdd, temperature)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {"model": self.model.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WriteEnergyModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(model=SeparableProductModel.from_dict(data["model"]))
+
+
+@dataclasses.dataclass
+class DischargeEnergyModel:
+    """Paper Eq. 8: ``E_dc = p1(V_DD) * p3(dV_BL) * p1(T)`` (per bit-line event)."""
+
+    model: SeparableProductModel
+
+    @classmethod
+    def with_default_degrees(cls) -> "DischargeEnergyModel":
+        """Unfitted model with the paper's polynomial degrees (1, 3 and 1)."""
+        return cls(
+            SeparableProductModel(
+                degrees=(1, 3, 1), variables=("vdd", "delta_v_bl", "temperature")
+            )
+        )
+
+    def energy(
+        self,
+        delta_v_bl: ArrayLike,
+        vdd: ArrayLike,
+        temperature: ArrayLike,
+    ) -> np.ndarray:
+        """Discharge-and-restore energy in joules for a given bit-line swing."""
+        delta_v = np.maximum(np.asarray(delta_v_bl, dtype=float), 0.0)
+        return np.maximum(
+            np.asarray(self.model(vdd, delta_v, temperature), dtype=float), 0.0
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {"model": self.model.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DischargeEnergyModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(model=SeparableProductModel.from_dict(data["model"]))

@@ -1,0 +1,141 @@
+"""Runtime comparison between OPTIMA and the reference circuit simulator.
+
+Paper Section V reports a ~101x speed-up for iterating over the multiplier
+input space and design corners and a 28.1x speed-up for mismatch Monte-Carlo
+sampling, comparing the OPTIMA (SystemVerilog) flow against Cadence Virtuoso.
+The equivalent comparison here pits the polynomial model suite against the
+ODE-based transient solver.  Absolute factors depend on the host machine and
+on how heavily the reference solver is vectorised, so the benchmark reports
+the measured factor alongside the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.conditions import OperatingConditions
+from repro.circuits.technology import TechnologyCard
+from repro.core.model_suite import OptimaModelSuite
+from repro.core.metrics import speedup_ratio
+from repro.multiplier.config import MultiplierConfig
+from repro.multiplier.imac import InSramMultiplier
+from repro.multiplier.reference import ReferenceMultiplier
+
+
+@dataclasses.dataclass
+class SpeedupReport:
+    """Measured runtimes and speed-up factors."""
+
+    reference_input_space_seconds: float
+    optima_input_space_seconds: float
+    reference_monte_carlo_seconds: float
+    optima_monte_carlo_seconds: float
+    input_space_repetitions: int
+    monte_carlo_samples: int
+
+    @property
+    def input_space_speedup(self) -> float:
+        """Speed-up for iterating the multiplier input space."""
+        return speedup_ratio(
+            self.reference_input_space_seconds, self.optima_input_space_seconds
+        )
+
+    @property
+    def monte_carlo_speedup(self) -> float:
+        """Speed-up for mismatch Monte-Carlo sampling."""
+        return speedup_ratio(
+            self.reference_monte_carlo_seconds, self.optima_monte_carlo_seconds
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of the comparison."""
+        return (
+            f"input-space iteration: reference {self.reference_input_space_seconds:.3f} s, "
+            f"OPTIMA {self.optima_input_space_seconds:.3f} s "
+            f"-> {self.input_space_speedup:.1f}x\n"
+            f"mismatch Monte-Carlo : reference {self.reference_monte_carlo_seconds:.3f} s, "
+            f"OPTIMA {self.optima_monte_carlo_seconds:.3f} s "
+            f"-> {self.monte_carlo_speedup:.1f}x"
+        )
+
+
+def measure_speedup(
+    technology: TechnologyCard,
+    suite: OptimaModelSuite,
+    config: Optional[MultiplierConfig] = None,
+    input_space_repetitions: int = 3,
+    monte_carlo_samples: int = 200,
+    conditions: Optional[OperatingConditions] = None,
+    seed: int = 0,
+) -> SpeedupReport:
+    """Time the reference and OPTIMA evaluations of the same workload.
+
+    Parameters
+    ----------
+    technology:
+        Technology card of the reference simulator.
+    suite:
+        Calibrated OPTIMA model suite.
+    config:
+        Multiplier configuration to evaluate; defaults to the paper's
+        ``fom`` corner parameters.
+    input_space_repetitions:
+        How many times the full 256-entry input space is evaluated (stands
+        in for iterating over design corners).
+    monte_carlo_samples:
+        Mismatch Monte-Carlo sample count.
+    """
+    if input_space_repetitions <= 0:
+        raise ValueError("input_space_repetitions must be positive")
+    if monte_carlo_samples <= 0:
+        raise ValueError("monte_carlo_samples must be positive")
+    config = config or MultiplierConfig(name="fom")
+    conditions = conditions or OperatingConditions.nominal(technology)
+
+    reference = ReferenceMultiplier(technology, config, conditions=conditions)
+    fast = InSramMultiplier(suite, config, conditions=conditions)
+    x_grid, d_grid = fast.input_space()
+
+    # --- input-space iteration ----------------------------------------
+    start = time.perf_counter()
+    for _ in range(input_space_repetitions):
+        reference.characterize_input_space(conditions)
+    reference_input_space = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(input_space_repetitions):
+        fast.multiply(x_grid, d_grid, conditions=conditions)
+    optima_input_space = time.perf_counter() - start
+
+    # --- mismatch Monte-Carlo ------------------------------------------
+    start = time.perf_counter()
+    reference.characterize_monte_carlo(
+        monte_carlo_samples, conditions=conditions, seed=seed
+    )
+    reference_monte_carlo = time.perf_counter() - start
+
+    rng = np.random.default_rng(seed)
+    wordline_voltage = fast.wordline_voltage(config.max_operand)
+    start = time.perf_counter()
+    suite.sample_discharge_voltage(
+        np.full(monte_carlo_samples, config.max_discharge_time),
+        np.full(monte_carlo_samples, float(np.asarray(wordline_voltage))),
+        rng,
+        conditions=conditions,
+    )
+    optima_monte_carlo = time.perf_counter() - start
+
+    # Guard against zero-duration timings on very fast machines.
+    epsilon = 1e-9
+    return SpeedupReport(
+        reference_input_space_seconds=max(reference_input_space, epsilon),
+        optima_input_space_seconds=max(optima_input_space, epsilon),
+        reference_monte_carlo_seconds=max(reference_monte_carlo, epsilon),
+        optima_monte_carlo_seconds=max(optima_monte_carlo, epsilon),
+        input_space_repetitions=input_space_repetitions,
+        monte_carlo_samples=monte_carlo_samples,
+    )

@@ -1,0 +1,138 @@
+"""Accuracy evaluation across multiplier backends (Tables II / III).
+
+The paper reports top-1 and top-5 classification accuracy for each network
+under five execution modes: FLOAT32, exact INT4, and the three in-SRAM
+multiplier corners.  This module provides the evaluation primitives and the
+one-call comparison used by the table-reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.metrics import top_k_accuracy
+from repro.dnn.datasets import Dataset
+from repro.dnn.imc_injection import MultiplierBackend
+from repro.dnn.network import Network
+from repro.dnn.quantization import QuantizedNetwork
+
+NetworkLike = Union[Network, QuantizedNetwork]
+
+
+@dataclasses.dataclass
+class AccuracyReport:
+    """Top-1 / top-5 accuracy of one network under one execution mode."""
+
+    model: str
+    mode: str
+    top1: float
+    top5: float
+    samples: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Row representation used by the table benchmarks."""
+        return {
+            "model": self.model,
+            "mode": self.mode,
+            "top1_percent": 100.0 * self.top1,
+            "top5_percent": 100.0 * self.top5,
+            "samples": self.samples,
+        }
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        return (
+            f"{self.model:<14} {self.mode:<12} "
+            f"top-1 {100.0 * self.top1:5.1f} %  top-5 {100.0 * self.top5:5.1f} %"
+        )
+
+
+def evaluate_accuracy(
+    network: NetworkLike,
+    images: np.ndarray,
+    labels: np.ndarray,
+    mode: str = "float32",
+    top_k: int = 5,
+    batch_size: int = 64,
+) -> AccuracyReport:
+    """Evaluate top-1 / top-``top_k`` accuracy of ``network``."""
+    labels = np.asarray(labels)
+    scores = network.predict(images, batch_size=batch_size)
+    classes = scores.shape[1]
+    k = min(top_k, classes)
+    return AccuracyReport(
+        model=getattr(network, "name", "network"),
+        mode=mode,
+        top1=top_k_accuracy(scores, labels, k=1),
+        top5=top_k_accuracy(scores, labels, k=k),
+        samples=int(labels.shape[0]),
+    )
+
+
+def evaluate_backends(
+    float_network: Network,
+    quantized_network: QuantizedNetwork,
+    backends: Dict[str, MultiplierBackend],
+    dataset: Dataset,
+    max_samples: Optional[int] = None,
+    batch_size: int = 64,
+) -> Dict[str, AccuracyReport]:
+    """Evaluate every execution mode of the paper's Tables II / III.
+
+    Returns a mapping from mode name (``"float32"``, ``"int4"`` and one
+    entry per backend) to its accuracy report.
+
+    Parameters
+    ----------
+    float_network:
+        The trained FLOAT32 network.
+    quantized_network:
+        Its INT4 quantisation (exact backend); corners are evaluated by
+        re-binding the backend, so calibration is shared.
+    backends:
+        Mapping from corner name to multiplier backend.
+    dataset:
+        Dataset whose test split is evaluated.
+    max_samples:
+        Optional cap on the number of evaluated test samples (the LUT
+        backends are slower than plain matrix products).
+    """
+    images = dataset.test_images
+    labels = dataset.test_labels
+    if max_samples is not None and images.shape[0] > max_samples:
+        images = images[:max_samples]
+        labels = labels[:max_samples]
+
+    reports: Dict[str, AccuracyReport] = {}
+    reports["float32"] = evaluate_accuracy(
+        float_network, images, labels, mode="float32", batch_size=batch_size
+    )
+    reports["int4"] = evaluate_accuracy(
+        quantized_network, images, labels, mode="int4", batch_size=batch_size
+    )
+    for name, backend in backends.items():
+        corner_network = quantized_network.with_backend(backend, name_suffix=f"-{name}")
+        reports[name] = evaluate_accuracy(
+            corner_network, images, labels, mode=name, batch_size=batch_size
+        )
+    return reports
+
+
+def accuracy_table(reports: Dict[str, Dict[str, AccuracyReport]]) -> str:
+    """Format a {model: {mode: report}} mapping as a fixed-width text table."""
+    if not reports:
+        return "(no results)"
+    modes = list(next(iter(reports.values())).keys())
+    header = f"{'model':<14}" + "".join(f"{mode:>22}" for mode in modes)
+    lines = [header]
+    for model, model_reports in reports.items():
+        cells = []
+        for mode in modes:
+            report = model_reports[mode]
+            cells.append(f"{100 * report.top1:7.1f}/{100 * report.top5:5.1f} %    ")
+        lines.append(f"{model:<14}" + "".join(f"{cell:>22}" for cell in cells))
+    lines.append("(cells are top-1 / top-5 accuracy)")
+    return "\n".join(lines)

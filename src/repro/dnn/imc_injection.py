@@ -1,0 +1,213 @@
+"""Multiplier backends: how INT4 products are actually computed.
+
+The quantised layers of :mod:`repro.dnn.quantization` reduce every
+convolution / dense layer to sums of INT4 products between unsigned
+activation codes (0..15) and signed weight codes (-8..7).  *How* each product
+is computed is delegated to a backend:
+
+* :class:`ExactBackend` — ideal digital INT4 multiplication (the paper's
+  "Baseline INT4" column).
+* :class:`LutBackend` — the in-SRAM multiplier, represented by the
+  :class:`~repro.multiplier.lut.ProductLookupTable` of a design corner.
+  Signs are applied digitally (sign-magnitude execution); optionally each
+  product is perturbed with the corner's mismatch sigma.
+
+Both backends expose one operation, ``matmul(activations, weights)``, which
+computes ``sum_k product(a[m, k], w[k, n])``.  The LUT backend evaluates it
+with a one-hot decomposition over the 16 possible weight values, so the whole
+sum runs as 16 dense matrix products instead of a per-element Python loop —
+this is what keeps the Table II/III experiments tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from repro.multiplier.lut import ProductLookupTable
+
+
+class MultiplierBackend(Protocol):
+    """Protocol every multiplier backend implements."""
+
+    name: str
+
+    def matmul(
+        self,
+        activation_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        activation_zero_point: int = 0,
+    ) -> np.ndarray:
+        """Accumulated products ``sum_k product(a[m, k], w[k, n])``.
+
+        Parameters
+        ----------
+        activation_codes:
+            Unsigned activation codes, shape ``(m, k)``, values 0..15.
+        weight_codes:
+            Signed weight codes, shape ``(k, n)``, values -8..7.
+        activation_zero_point:
+            Activation code whose dequantised value is exactly zero.  An
+            accelerator skips those analogue operations (zero-skipping), so
+            their contribution is the exact product rather than an analogue
+            approximation of it.
+        """
+        ...  # pragma: no cover - protocol definition
+
+
+class ExactBackend:
+    """Ideal digital INT4 multiply-accumulate."""
+
+    name = "int4"
+
+    def matmul(
+        self,
+        activation_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        activation_zero_point: int = 0,
+    ) -> np.ndarray:
+        """Exact integer products accumulated in float32."""
+        del activation_zero_point  # exact products need no special casing
+        activations = np.asarray(activation_codes, dtype=np.float32)
+        weights = np.asarray(weight_codes, dtype=np.float32)
+        return activations @ weights
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "ExactBackend()"
+
+
+class LutBackend:
+    """In-SRAM multiplier backend driven by a product lookup table.
+
+    Parameters
+    ----------
+    table:
+        Product lookup table of one multiplier corner (mean result and
+        per-product sigma, both in product-code units).
+    stochastic:
+        When true, every accumulated output receives Gaussian noise whose
+        variance is the sum of the per-product mismatch variances — the
+        exact distribution of summing independently perturbed products.
+    rng:
+        Random generator used for the stochastic mode.
+    name:
+        Backend name in reports; defaults to the table's corner name.
+    """
+
+    def __init__(
+        self,
+        table: ProductLookupTable,
+        stochastic: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.table = table
+        self.stochastic = stochastic
+        self.rng = rng or np.random.default_rng(0)
+        self.name = name or table.name
+        self._signed_product, self._variance = self._build_signed_tables(table)
+
+    @staticmethod
+    def _build_signed_tables(table: ProductLookupTable) -> tuple:
+        """Tables indexed by (weight value + 8, activation code).
+
+        ``signed_product[w + 8, a]`` is the signed mean result of multiplying
+        activation code ``a`` by weight value ``w``; ``variance`` holds the
+        matching mismatch variance.
+        """
+        max_code = table.max_operand
+        weight_values = np.arange(-8, 8)
+        signed = np.zeros((weight_values.size, max_code + 1))
+        variance = np.zeros_like(signed)
+        for row, weight in enumerate(weight_values):
+            magnitude = min(abs(int(weight)), max_code)
+            sign = np.sign(weight)
+            signed[row] = sign * table.mean[:, magnitude]
+            variance[row] = table.sigma[:, magnitude] ** 2
+        return signed, variance
+
+    def matmul(
+        self,
+        activation_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        activation_zero_point: int = 0,
+    ) -> np.ndarray:
+        """Accumulate in-SRAM products via one-hot weight decomposition.
+
+        Activations equal to ``activation_zero_point`` represent an exact
+        real value of zero; the accelerator zero-skips them, so their
+        contribution is the exact product ``zero_point * w`` (which the
+        quantised layer's zero-point correction then cancels) instead of an
+        analogue result.
+        """
+        activations = np.asarray(activation_codes)
+        weights = np.asarray(weight_codes)
+        if activations.ndim != 2 or weights.ndim != 2:
+            raise ValueError("matmul expects 2-D code matrices")
+        if activations.shape[1] != weights.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: {activations.shape} vs {weights.shape}"
+            )
+        if activations.min() < 0 or activations.max() > self.table.max_operand:
+            raise ValueError("activation codes out of the 4-bit unsigned range")
+        if weights.min() < -8 or weights.max() > 7:
+            raise ValueError("weight codes out of the 4-bit signed range")
+
+        activation_index = activations.astype(np.intp)
+        weight_rows = (weights.astype(np.intp) + 8)
+
+        signed_product = self._signed_product
+        variance_table = self._variance
+        if 0 <= activation_zero_point <= self.table.max_operand:
+            signed_product = signed_product.copy()
+            variance_table = variance_table.copy()
+            weight_values = np.arange(-8, 8, dtype=float)
+            signed_product[:, activation_zero_point] = (
+                float(activation_zero_point) * weight_values
+            )
+            variance_table[:, activation_zero_point] = 0.0
+
+        accumulated = np.zeros(
+            (activations.shape[0], weights.shape[1]), dtype=np.float32
+        )
+        variance = (
+            np.zeros_like(accumulated) if self.stochastic else None
+        )
+        present_values = np.unique(weight_rows)
+        for value_row in present_values:
+            if value_row == 8:
+                # Weight value 0: the stored word is all zeros, no discharge
+                # occurs and the contribution is exactly zero (including its
+                # mismatch), so the term is skipped entirely.
+                continue
+            indicator = (weight_rows == value_row).astype(np.float32)
+            products = signed_product[value_row][activation_index].astype(np.float32)
+            accumulated += products @ indicator
+            if variance is not None:
+                variances = variance_table[value_row][activation_index].astype(np.float32)
+                variance += variances @ indicator
+        if variance is not None:
+            noise = self.rng.normal(0.0, 1.0, size=accumulated.shape).astype(np.float32)
+            accumulated = accumulated + noise * np.sqrt(np.maximum(variance, 0.0))
+        return accumulated
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LutBackend(name={self.name!r}, stochastic={self.stochastic})"
+
+
+def backends_for_corners(
+    tables: Dict[str, ProductLookupTable],
+    stochastic: bool = False,
+    seed: int = 0,
+) -> Dict[str, "LutBackend"]:
+    """Build one LUT backend per named corner table."""
+    return {
+        name: LutBackend(
+            table,
+            stochastic=stochastic,
+            rng=np.random.default_rng(seed + index),
+            name=name,
+        )
+        for index, (name, table) in enumerate(tables.items())
+    }

@@ -1,0 +1,46 @@
+"""Event-driven simulation framework hosting the OPTIMA behavioural models.
+
+The paper incorporates its behavioural models into a discrete-time simulation
+framework written in SystemVerilog so that analogue bit-line voltages can be
+simulated "in an event-based fashion, akin to digital simulation tools".
+This package is the Python equivalent:
+
+* :mod:`repro.eventsim.kernel` — a deterministic event queue with
+  simulation time, scheduling and process registration.
+* :mod:`repro.eventsim.signals` — named signals with value history and
+  change callbacks (the waveform view a digital simulator would give you).
+* :mod:`repro.eventsim.components` — the component library of the
+  multiplier testbench: pre-charge unit, word-line DAC driver, bit-line
+  models backed by the OPTIMA discharge model, sampling switches and the
+  read-out ADC.
+* :mod:`repro.eventsim.testbench` — the full multiply-sequence testbench
+  (paper Fig. 3 / Section V) assembled from those components.
+"""
+
+from repro.eventsim.kernel import Event, SimulationKernel
+from repro.eventsim.signals import AnalogSignal, DigitalSignal, Signal
+from repro.eventsim.components import (
+    AdcReadout,
+    BitlineComponent,
+    Component,
+    PrechargeUnit,
+    SamplingSwitch,
+    WordlineDriver,
+)
+from repro.eventsim.testbench import MultiplierTestbench, TestbenchResult
+
+__all__ = [
+    "AdcReadout",
+    "AnalogSignal",
+    "BitlineComponent",
+    "Component",
+    "DigitalSignal",
+    "Event",
+    "MultiplierTestbench",
+    "PrechargeUnit",
+    "SamplingSwitch",
+    "Signal",
+    "SimulationKernel",
+    "TestbenchResult",
+    "WordlineDriver",
+]

@@ -1,0 +1,39 @@
+"""Discharge-based in-SRAM multiplier case study (paper Section V).
+
+The multiplier follows the IMAC circuit (the paper's reference [8]): a 4-bit
+operand is stored in one SRAM word (one bit per column), the other operand is
+applied as a DAC-generated word-line voltage, each bit-line-bar discharges for
+a bit-weighted duration (``tau0 .. 8 tau0``), the discharges are captured on
+sampling capacitors, charge-shared, and digitised by an ADC.
+
+* :mod:`repro.multiplier.config` — the circuit-parameter container that
+  spans the design space (``tau0``, ``V_DAC,0``, ``V_DAC,FS``).
+* :mod:`repro.multiplier.imac` — the fast multiplier model built on an
+  :class:`~repro.core.model_suite.OptimaModelSuite`.
+* :mod:`repro.multiplier.reference` — the same multiplier evaluated with the
+  transistor-level reference simulator (validation and speed-up baseline).
+* :mod:`repro.multiplier.error_analysis` — input-space error / energy /
+  sigma analysis (the quantities plotted in Fig. 7 and 8).
+* :mod:`repro.multiplier.lut` — product lookup tables consumed by the DNN
+  injection layer.
+"""
+
+from repro.multiplier.config import MultiplierConfig
+from repro.multiplier.imac import InSramMultiplier
+from repro.multiplier.reference import ReferenceMultiplier
+from repro.multiplier.error_analysis import (
+    InputSpaceAnalysis,
+    analyze_input_space,
+    group_by_expected_product,
+)
+from repro.multiplier.lut import ProductLookupTable
+
+__all__ = [
+    "InSramMultiplier",
+    "InputSpaceAnalysis",
+    "MultiplierConfig",
+    "ProductLookupTable",
+    "ReferenceMultiplier",
+    "analyze_input_space",
+    "group_by_expected_product",
+]

@@ -1,0 +1,160 @@
+"""Configuration of the discharge-based in-SRAM multiplier.
+
+The design space explored in paper Section V is spanned by three circuit
+parameters:
+
+* ``tau0`` — discharge time of the least-significant bit-line,
+* ``V_DAC,0`` — DAC output voltage for input code 0,
+* ``V_DAC,FS`` — DAC full-scale output voltage.
+
+:class:`MultiplierConfig` carries those parameters plus the secondary
+implementation constants (operand width, converter energies, sampling
+capacitors) that stay fixed across the exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiplierConfig:
+    """One point of the multiplier design space.
+
+    Attributes
+    ----------
+    tau0:
+        Discharge time of the least-significant bit-line in seconds.
+    v_dac_zero:
+        DAC output voltage for input code 0 (``V_DAC,0``).
+    v_dac_full_scale:
+        DAC full-scale output voltage (``V_DAC,FS``).
+    bits:
+        Operand width in bits; the stored word uses one bit-line per bit
+        and the products span ``0 .. (2**bits - 1)**2``.
+    name:
+        Optional corner name (``"fom"``, ``"power"``, ``"variation"``, ...).
+    dac_nonlinear_exponent:
+        Pre-distortion exponent of the word-line DAC; 1.0 selects the plain
+        linear DAC the paper's baseline circuit uses.
+    dac_capacitance:
+        Word-line load driven by the DAC, in farads.
+    sampling_capacitance:
+        Per-branch sampling capacitor of the read-out network, in farads.
+    adc_conversion_energy:
+        Energy of one ADC conversion in joules.
+    adc_lsb_voltage:
+        Voltage of one ADC step.  The ADC is a fixed piece of read-out
+        hardware shared by every design corner, so its LSB voltage does not
+        shrink when a corner uses a smaller analogue swing — which is why
+        low-full-scale corners lose accuracy (their products are spread over
+        fewer ADC codes).
+    """
+
+    tau0: float = 0.16e-9
+    v_dac_zero: float = 0.3
+    v_dac_full_scale: float = 1.0
+    bits: int = 4
+    name: str = "unnamed"
+    dac_nonlinear_exponent: float = 1.0
+    dac_capacitance: float = 30e-15
+    sampling_capacitance: float = 8e-15
+    adc_conversion_energy: float = 25e-15
+    adc_lsb_voltage: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.tau0 <= 0.0:
+            raise ValueError("tau0 must be positive")
+        if self.bits <= 0 or self.bits > 8:
+            raise ValueError("bits must lie in [1, 8]")
+        if self.v_dac_full_scale <= self.v_dac_zero:
+            raise ValueError("v_dac_full_scale must exceed v_dac_zero")
+        if self.v_dac_zero < 0.0:
+            raise ValueError("v_dac_zero must be non-negative")
+        if self.dac_nonlinear_exponent <= 0.0:
+            raise ValueError("dac_nonlinear_exponent must be positive")
+        if self.adc_lsb_voltage <= 0.0:
+            raise ValueError("adc_lsb_voltage must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_operand(self) -> int:
+        """Largest representable operand value."""
+        return (1 << self.bits) - 1
+
+    @property
+    def product_levels(self) -> int:
+        """Number of ADC steps covering the product range."""
+        return self.max_operand * self.max_operand
+
+    def discharge_times(self) -> Tuple[float, ...]:
+        """Bit-weighted discharge durations, LSB first (``tau0 * 2**i``)."""
+        return tuple(self.tau0 * (1 << i) for i in range(self.bits))
+
+    @property
+    def max_discharge_time(self) -> float:
+        """Duration of the longest (MSB) discharge."""
+        return self.tau0 * (1 << (self.bits - 1))
+
+    @property
+    def cycle_time(self) -> float:
+        """Estimated cycle time of one multiply operation.
+
+        One cycle covers pre-charge, the longest discharge, sampling and the
+        ADC conversion; the pre-charge/sample/convert overhead is folded
+        into a fixed multiple of the discharge window, which reproduces the
+        ~167 MHz operating frequency the paper reports for the ``fom``
+        corner.
+        """
+        overhead = 3.5e-9
+        return self.max_discharge_time + overhead
+
+    @property
+    def operating_frequency(self) -> float:
+        """Operating frequency implied by :attr:`cycle_time`."""
+        return 1.0 / self.cycle_time
+
+    def renamed(self, name: str) -> "MultiplierConfig":
+        """Copy of the configuration with a different corner name."""
+        return dataclasses.replace(self, name=name)
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        return (
+            f"{self.name}: tau0={self.tau0 * 1e9:.2f} ns, "
+            f"V_DAC,0={self.v_dac_zero:.2f} V, "
+            f"V_DAC,FS={self.v_dac_full_scale:.2f} V"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MultiplierConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def paper_corner_fom() -> MultiplierConfig:
+    """The ``fom`` corner of paper Table I (tau0 = 0.16 ns, 0.3 V, 1.0 V)."""
+    return MultiplierConfig(
+        tau0=0.16e-9, v_dac_zero=0.3, v_dac_full_scale=1.0, name="fom"
+    )
+
+
+def paper_corner_power() -> MultiplierConfig:
+    """The ``power`` corner of paper Table I (tau0 = 0.16 ns, 0.3 V, 0.7 V)."""
+    return MultiplierConfig(
+        tau0=0.16e-9, v_dac_zero=0.3, v_dac_full_scale=0.7, name="power"
+    )
+
+
+def paper_corner_variation() -> MultiplierConfig:
+    """The ``variation`` corner of paper Table I (tau0 = 0.24 ns, 0.4 V, 1.0 V)."""
+    return MultiplierConfig(
+        tau0=0.24e-9, v_dac_zero=0.4, v_dac_full_scale=1.0, name="variation"
+    )

@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (reference-simulator characterisation, fitted model
+suites, trained networks) are session-scoped so the whole suite stays fast:
+most tests run against one shared quick calibration rather than re-running
+the reference sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import OperatingConditions, TransientSolver, tsmc65_like
+from repro.core.calibration import CalibrationResult, calibrate
+from repro.core.characterization import CharacterizationPlan
+from repro.dnn.datasets import make_synthetic_image_dataset
+from repro.multiplier.config import MultiplierConfig
+from repro.multiplier.imac import InSramMultiplier
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The default 65 nm-class technology card."""
+    return tsmc65_like()
+
+
+@pytest.fixture(scope="session")
+def nominal_conditions(technology):
+    """Nominal PVT operating point."""
+    return OperatingConditions.nominal(technology)
+
+
+@pytest.fixture(scope="session")
+def solver(technology):
+    """Shared reference transient solver."""
+    return TransientSolver(technology)
+
+
+@pytest.fixture(scope="session")
+def quick_calibration(technology) -> CalibrationResult:
+    """A quick-plan OPTIMA calibration shared by most model-level tests."""
+    return calibrate(technology, CharacterizationPlan.quick())
+
+
+@pytest.fixture(scope="session")
+def full_calibration(technology) -> CalibrationResult:
+    """The default-plan calibration used by accuracy-sensitive tests."""
+    return calibrate(technology)
+
+
+@pytest.fixture(scope="session")
+def suite(full_calibration):
+    """Fitted OPTIMA model suite (default plan)."""
+    return full_calibration.suite
+
+
+@pytest.fixture(scope="session")
+def quick_suite(quick_calibration):
+    """Fitted OPTIMA model suite (quick plan)."""
+    return quick_calibration.suite
+
+
+@pytest.fixture(scope="session")
+def fom_config() -> MultiplierConfig:
+    """A representative accurate multiplier configuration."""
+    return MultiplierConfig(
+        tau0=0.16e-9, v_dac_zero=0.3, v_dac_full_scale=1.0, name="fom-test"
+    )
+
+
+@pytest.fixture(scope="session")
+def multiplier(suite, fom_config) -> InSramMultiplier:
+    """OPTIMA-backed multiplier at the representative configuration."""
+    return InSramMultiplier(suite, fom_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny 4-class synthetic image dataset for DNN tests."""
+    return make_synthetic_image_dataset(
+        classes=4,
+        train_per_class=25,
+        test_per_class=8,
+        image_size=8,
+        channels=3,
+        noise=0.10,
+        seed=3,
+        name="tiny",
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

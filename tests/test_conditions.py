@@ -1,0 +1,75 @@
+"""Unit tests for PVT operating conditions."""
+
+import pytest
+
+from repro.circuits.conditions import (
+    OperatingConditions,
+    PVTCorner,
+    celsius_to_kelvin,
+    condition_grid,
+    kelvin_to_celsius,
+    standard_pvt_corners,
+)
+from repro.circuits.technology import ProcessCorner, tsmc65_like
+
+
+class TestTemperatureConversions:
+    def test_celsius_to_kelvin(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert celsius_to_kelvin(27.0) == pytest.approx(300.15)
+
+    def test_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(42.0)) == pytest.approx(42.0)
+
+
+class TestOperatingConditions:
+    def test_nominal_matches_technology(self):
+        tech = tsmc65_like()
+        nominal = OperatingConditions.nominal(tech)
+        assert nominal.vdd == pytest.approx(tech.vdd_nominal)
+        assert nominal.temperature == pytest.approx(tech.temperature_nominal)
+        assert nominal.corner is ProcessCorner.TYPICAL
+
+    def test_invalid_vdd_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingConditions(vdd=-0.1)
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingConditions(temperature=0.0)
+
+    def test_with_methods_return_copies(self):
+        base = OperatingConditions(vdd=1.0, temperature=300.0)
+        modified = base.with_vdd(0.9).with_temperature_celsius(70.0).with_corner(ProcessCorner.SLOW)
+        assert base.vdd == pytest.approx(1.0)
+        assert modified.vdd == pytest.approx(0.9)
+        assert modified.temperature == pytest.approx(celsius_to_kelvin(70.0))
+        assert modified.corner is ProcessCorner.SLOW
+
+    def test_describe_mentions_all_axes(self):
+        text = OperatingConditions(vdd=1.05, temperature=300.15).describe()
+        assert "1.050" in text
+        assert "27.0" in text
+        assert "typical" in text
+
+
+class TestCornersAndGrids:
+    def test_standard_corner_set_covers_axes(self):
+        corners = standard_pvt_corners(tsmc65_like())
+        names = {corner.name for corner in corners}
+        assert {"nominal", "low-vdd", "high-vdd", "cold", "hot", "fast", "slow"} <= names
+
+    def test_pvt_corner_describe(self):
+        corner = PVTCorner("hot", OperatingConditions(temperature=celsius_to_kelvin(70)))
+        assert "hot" in corner.describe()
+
+    def test_condition_grid_size(self):
+        grid = list(
+            condition_grid(
+                [0.9, 1.0],
+                [300.0, 350.0],
+                corners=[ProcessCorner.TYPICAL, ProcessCorner.FAST],
+            )
+        )
+        assert len(grid) == 8
+        assert all(isinstance(item, OperatingConditions) for item in grid)

@@ -1,0 +1,115 @@
+"""Tests for the fitted OPTIMA discharge model (Eq. 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.discharge_model import DischargeModel
+
+
+class TestModelAccuracy:
+    def test_matches_reference_on_grid_points(self, quick_calibration, solver, nominal_conditions):
+        """On the fitting grid the model must track the reference simulator."""
+        model = quick_calibration.suite.discharge
+        data = quick_calibration.data
+        predicted = model.bitline_voltage(data.base.time, data.base.wordline_voltage)
+        errors = np.abs(predicted - data.base.bitline_voltage)
+        assert float(np.mean(errors)) < 10e-3
+
+    def test_matches_reference_off_grid(self, suite, solver, nominal_conditions):
+        """Interpolation between fitted grid points stays accurate."""
+        time, v_wl = 0.9e-9, 0.82
+        reference = float(solver.discharge_at(v_wl, time, nominal_conditions))
+        predicted = float(suite.discharge_voltage(time, v_wl, nominal_conditions))
+        assert predicted == pytest.approx(reference, abs=15e-3)
+
+    def test_discharge_grows_with_time_and_voltage(self, suite):
+        model = suite.discharge
+        times = np.linspace(0.2e-9, 1.8e-9, 8)
+        d_time = model.discharge(times, 0.9)
+        assert np.all(np.diff(d_time) > 0.0)
+        voltages = np.linspace(0.5, 1.0, 8)
+        d_voltage = model.discharge(1.0e-9, voltages)
+        assert np.all(np.diff(d_voltage) > 0.0)
+
+
+class TestPvtExtensions:
+    def test_supply_dependence_direction(self, suite):
+        model = suite.discharge
+        low = float(model.discharge(1.28e-9, 0.9, vdd=0.9))
+        high = float(model.discharge(1.28e-9, 0.9, vdd=1.1))
+        assert high > low
+
+    def test_temperature_dependence_direction(self, suite):
+        model = suite.discharge
+        cold = float(model.discharge(1.28e-9, 0.9, temperature=273.15))
+        hot = float(model.discharge(1.28e-9, 0.9, temperature=343.15))
+        assert hot < cold
+
+    def test_stored_zero_keeps_precharge_level(self, suite):
+        model = suite.discharge
+        voltage = model.bitline_voltage(1.0e-9, 0.9, vdd=1.05, stored_bit=0)
+        assert float(voltage) == pytest.approx(1.05)
+        assert float(model.discharge(1.0e-9, 0.9, stored_bit=0)) == pytest.approx(0.0)
+
+    def test_invalid_stored_bit_rejected(self, suite):
+        with pytest.raises(ValueError):
+            suite.discharge.bitline_voltage(1e-9, 0.9, stored_bit=2)
+
+
+class TestMismatchModel:
+    def test_sigma_positive_and_grows_with_voltage(self, suite):
+        model = suite.discharge
+        sigma_low = float(model.mismatch_sigma(1.28e-9, 0.5))
+        sigma_high = float(model.mismatch_sigma(1.28e-9, 1.0))
+        assert 0.0 < sigma_low < sigma_high
+
+    def test_sigma_matches_monte_carlo_reference(self, quick_calibration):
+        data = quick_calibration.data
+        model = quick_calibration.suite.discharge
+        predicted = model.mismatch_sigma(data.mismatch.time, data.mismatch.wordline_voltage)
+        errors = np.abs(predicted - data.mismatch.sigma)
+        assert float(np.mean(errors)) < 5e-3
+
+    def test_sampling_statistics(self, suite, rng):
+        model = suite.discharge
+        samples = model.sample_discharge(
+            np.full(4000, 1.28e-9), np.full(4000, 0.9), rng
+        )
+        deterministic = float(model.discharge(1.28e-9, 0.9))
+        sigma = float(model.mismatch_sigma(1.28e-9, 0.9))
+        assert float(np.mean(samples)) == pytest.approx(deterministic, abs=sigma / 10.0)
+        assert float(np.std(samples)) == pytest.approx(sigma, rel=0.1)
+
+    def test_sampling_with_stored_zero_is_deterministic(self, suite, rng):
+        model = suite.discharge
+        samples = model.sample_discharge(np.full(10, 1e-9), np.full(10, 0.9), rng, stored_bit=0)
+        assert np.all(samples == 0.0)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_predictions(self, suite):
+        model = suite.discharge
+        clone = DischargeModel.from_dict(model.to_dict())
+        times = np.linspace(0.2e-9, 1.8e-9, 5)
+        voltages = np.linspace(0.4, 1.0, 5)
+        assert np.allclose(
+            clone.bitline_voltage(times, voltages), model.bitline_voltage(times, voltages)
+        )
+        assert np.allclose(
+            clone.mismatch_sigma(times, voltages), model.mismatch_sigma(times, voltages)
+        )
+        assert clone.supply_mode == model.supply_mode
+
+    def test_invalid_supply_mode_rejected(self, suite):
+        model = suite.discharge
+        with pytest.raises(ValueError):
+            DischargeModel(
+                base=model.base,
+                supply=model.supply,
+                temperature_coefficient=model.temperature_coefficient,
+                mismatch_sigma_model=model.mismatch_sigma_model,
+                threshold_voltage=model.threshold_voltage,
+                vdd_nominal=model.vdd_nominal,
+                temperature_nominal=model.temperature_nominal,
+                supply_mode="bogus",
+            )

@@ -1,0 +1,171 @@
+"""Tests for INT4 quantisation, batch-norm folding and the IMC backends."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.imc_injection import ExactBackend, LutBackend, backends_for_corners
+from repro.dnn.layers import BatchNorm, Conv2D, Dense
+from repro.dnn.models import build_vgg16_like
+from repro.dnn.network import Network
+from repro.dnn.quantization import (
+    ActivationQuantizer,
+    QuantizationScheme,
+    QuantizedConv2D,
+    QuantizedDense,
+    fold_batchnorm_layers,
+    quantize_network,
+    quantize_weights_symmetric,
+)
+from repro.dnn.training import TrainingConfig, train_network
+from repro.multiplier.lut import ProductLookupTable
+
+
+class TestQuantizationPrimitives:
+    def test_activation_quantizer_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 3.0, 500).astype(np.float32)
+        quantizer = ActivationQuantizer.calibrate(values, QuantizationScheme())
+        recovered = quantizer.dequantize(quantizer.quantize(values))
+        assert float(np.max(np.abs(recovered - values))) <= quantizer.scale * 0.51 + 1e-6
+
+    def test_activation_zero_point_for_relu_data_is_zero(self):
+        values = np.abs(np.random.default_rng(1).normal(size=300)).astype(np.float32)
+        quantizer = ActivationQuantizer.calibrate(values, QuantizationScheme())
+        assert quantizer.zero_point == 0
+
+    def test_weight_quantization_symmetric_range(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(0.0, 0.2, size=(32, 8)).astype(np.float32)
+        codes, scales = quantize_weights_symmetric(weights, QuantizationScheme())
+        assert codes.min() >= -8 and codes.max() <= 7
+        assert scales.shape == (8,)
+        reconstructed = codes * scales
+        assert float(np.max(np.abs(reconstructed - weights))) <= float(scales.max()) * 0.51
+
+    def test_per_tensor_mode_uses_single_scale(self):
+        weights = np.random.default_rng(3).normal(size=(16, 4)).astype(np.float32)
+        _, scales = quantize_weights_symmetric(
+            weights, QuantizationScheme(per_channel_weights=False)
+        )
+        assert np.allclose(scales, scales[0])
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationScheme(weight_bits=1)
+        with pytest.raises(ValueError):
+            QuantizationScheme(calibration_percentile=40.0)
+
+
+class TestBatchNormFolding:
+    def test_folding_preserves_inference_output(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2D(3, 5, kernel=3, rng=rng)
+        bn = BatchNorm(5)
+        inputs = rng.normal(size=(4, 6, 6, 3)).astype(np.float32)
+        # Give the BN non-trivial running statistics.
+        for _ in range(10):
+            bn.forward(conv.forward(rng.normal(size=(8, 6, 6, 3)).astype(np.float32)), training=True)
+        reference = bn.forward(conv.forward(inputs), training=False)
+        folded_layers = fold_batchnorm_layers([conv, bn])
+        assert len(folded_layers) == 1
+        folded_output = folded_layers[0].forward(inputs)
+        assert np.allclose(folded_output, reference, atol=1e-4)
+
+    def test_folding_keeps_unpaired_layers(self):
+        dense = Dense(4, 2)
+        bn = BatchNorm(4)
+        layers = fold_batchnorm_layers([bn, dense])
+        assert len(layers) == 2
+
+
+class TestBackends:
+    def test_exact_backend_matches_matmul(self):
+        rng = np.random.default_rng(5)
+        activations = rng.integers(0, 16, size=(6, 10))
+        weights = rng.integers(-8, 8, size=(10, 4))
+        backend = ExactBackend()
+        assert np.allclose(backend.matmul(activations, weights), activations @ weights)
+
+    def test_lut_backend_with_exact_table_matches_exact_backend(self):
+        rng = np.random.default_rng(6)
+        activations = rng.integers(0, 16, size=(8, 12))
+        weights = rng.integers(-8, 8, size=(12, 5))
+        lut = LutBackend(ProductLookupTable.exact(), name="exact-lut")
+        exact = ExactBackend()
+        assert np.allclose(
+            lut.matmul(activations, weights), exact.matmul(activations, weights)
+        )
+
+    def test_zero_skipping_restores_exact_zero_contributions(self, multiplier):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        backend = LutBackend(table)
+        weights = np.arange(-8, 8).reshape(16, 1)
+        activations = np.zeros((1, 16), dtype=int)
+        # With zero-skipping, an all-zero activation row accumulates exactly 0.
+        accumulated = backend.matmul(activations, weights, activation_zero_point=0)
+        assert float(accumulated.item()) == pytest.approx(0.0)
+
+    def test_stochastic_backend_adds_variance(self, multiplier):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        rng = np.random.default_rng(7)
+        noisy = LutBackend(table, stochastic=True, rng=rng)
+        activations = np.full((200, 8), 9, dtype=int)
+        weights = np.full((8, 1), 7, dtype=int)
+        outputs = noisy.matmul(activations, weights)
+        assert float(np.std(outputs)) > 0.0
+        deterministic = LutBackend(table).matmul(activations[:1], weights)
+        assert float(np.mean(outputs)) == pytest.approx(float(deterministic.item()), rel=0.2)
+
+    def test_out_of_range_codes_rejected(self):
+        backend = LutBackend(ProductLookupTable.exact())
+        with pytest.raises(ValueError):
+            backend.matmul(np.array([[17]]), np.array([[1]]))
+        with pytest.raises(ValueError):
+            backend.matmul(np.array([[1]]), np.array([[9]]))
+        with pytest.raises(ValueError):
+            backend.matmul(np.array([1]), np.array([[1]]))
+
+    def test_backends_for_corners(self, multiplier):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        backends = backends_for_corners({"fom": table}, stochastic=False)
+        assert set(backends) == {"fom"}
+        assert backends["fom"].name == "fom"
+
+
+class TestQuantizedNetwork:
+    @pytest.fixture(scope="class")
+    def trained_network(self, tiny_dataset):
+        net = build_vgg16_like((8, 8, 3), classes=tiny_dataset.classes)
+        train_network(net, tiny_dataset, TrainingConfig(epochs=4, learning_rate=0.08, seed=1))
+        return net
+
+    def test_int4_quantisation_close_to_float(self, trained_network, tiny_dataset):
+        quantized = quantize_network(trained_network, tiny_dataset.train_images[:64])
+        float_scores = trained_network.predict(tiny_dataset.test_images)
+        int4_scores = quantized.predict(tiny_dataset.test_images)
+        float_top1 = np.mean(np.argmax(float_scores, axis=1) == tiny_dataset.test_labels)
+        int4_top1 = np.mean(np.argmax(int4_scores, axis=1) == tiny_dataset.test_labels)
+        assert int4_top1 >= float_top1 - 0.2
+
+    def test_quantized_layer_types(self, trained_network, tiny_dataset):
+        quantized = quantize_network(trained_network, tiny_dataset.train_images[:64])
+        assert any(isinstance(layer, QuantizedConv2D) for layer in quantized.layers)
+        assert any(isinstance(layer, QuantizedDense) for layer in quantized.layers)
+        # Batch norms are folded away.
+        assert not any(isinstance(layer, BatchNorm) for layer in quantized.layers)
+
+    def test_with_backend_rebinds_all_quantized_layers(self, trained_network, tiny_dataset, multiplier):
+        quantized = quantize_network(trained_network, tiny_dataset.train_images[:64])
+        table = ProductLookupTable.exact()
+        rebound = quantized.with_backend(LutBackend(table, name="exact-lut"))
+        assert rebound.backend.name == "exact-lut"
+        # An exact LUT backend must reproduce the exact-INT4 scores.
+        assert np.allclose(
+            rebound.predict(tiny_dataset.test_images[:16]),
+            quantized.predict(tiny_dataset.test_images[:16]),
+            atol=1e-4,
+        )
+
+    def test_multiplication_count_carried_over(self, trained_network, tiny_dataset):
+        quantized = quantize_network(trained_network, tiny_dataset.train_images[:32])
+        assert quantized.multiplication_count() == trained_network.multiplication_count()

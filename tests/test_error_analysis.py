@@ -1,0 +1,98 @@
+"""Tests for the input-space error / energy / sigma analysis."""
+
+import numpy as np
+import pytest
+
+from repro.multiplier.error_analysis import analyze_input_space, group_by_expected_product
+from repro.multiplier.imac import InSramMultiplier
+from repro.multiplier.config import MultiplierConfig
+
+
+@pytest.fixture(scope="module")
+def analysis(suite, fom_config):
+    return analyze_input_space(InSramMultiplier(suite, fom_config))
+
+
+class TestInputSpaceAnalysis:
+    def test_shapes(self, analysis):
+        assert analysis.expected.shape == (16, 16)
+        assert analysis.results.shape == (16, 16)
+        assert analysis.errors.shape == (16, 16)
+        assert analysis.analog_sigma.shape == (16, 16)
+
+    def test_scalar_metrics_consistent(self, analysis):
+        assert analysis.mean_error_lsb == pytest.approx(float(np.mean(analysis.errors)))
+        assert analysis.max_error_lsb >= analysis.mean_error_lsb
+        assert analysis.rms_error_lsb >= analysis.mean_error_lsb * 0.5
+        assert analysis.energy_per_operation > analysis.energy_per_multiplication
+        assert analysis.adc_lsb > 0.0
+
+    def test_figure_of_merit_positive(self, analysis):
+        assert analysis.figure_of_merit > 0.0
+
+    def test_sigma_metrics(self, analysis):
+        assert analysis.sigma_at_max_discharge >= 0.0
+        assert analysis.worst_sigma_mv >= analysis.sigma_at_max_discharge * 1e3 - 1e-9
+        assert 0.0 <= analysis.relative_sigma_at_max_discharge < 1.0
+
+    def test_small_operand_error(self, analysis):
+        full = analysis.mean_error_lsb
+        small = analysis.small_operand_error(threshold=4)
+        assert small >= 0.0
+        # The metric only looks at a subset, so it differs from the mean.
+        assert small != pytest.approx(full, rel=1e-12) or small == 0.0
+
+    def test_summary_keys(self, analysis):
+        summary = analysis.summary()
+        for key in (
+            "mean_error_lsb",
+            "energy_per_multiplication_fj",
+            "figure_of_merit",
+            "small_operand_error_lsb",
+        ):
+            assert key in summary
+
+    def test_describe(self, analysis):
+        assert "eps_mul" in analysis.describe()
+
+
+class TestGroupByExpectedProduct:
+    def test_grouping_covers_all_products(self, analysis):
+        expected, mean_results, sigma_lsb, mean_errors = group_by_expected_product(analysis)
+        products = {int(x * d) for x in range(16) for d in range(16)}
+        assert set(expected.astype(int)) == products
+        assert mean_results.shape == expected.shape
+        assert sigma_lsb.shape == expected.shape
+        assert mean_errors.shape == expected.shape
+
+    def test_transfer_is_roughly_linear(self, analysis):
+        expected, mean_results, _, _ = group_by_expected_product(analysis)
+        correlation = np.corrcoef(expected, mean_results)[0, 1]
+        assert correlation > 0.99
+
+    def test_zero_product_maps_to_small_result(self, analysis):
+        expected, mean_results, _, _ = group_by_expected_product(analysis)
+        assert float(mean_results[expected == 0.0].item()) < 10.0
+
+
+class TestCornerOrdering:
+    def test_higher_full_scale_is_more_accurate_and_more_expensive(self, suite):
+        low = analyze_input_space(
+            InSramMultiplier(suite, MultiplierConfig(v_dac_full_scale=0.7, name="low"))
+        )
+        high = analyze_input_space(
+            InSramMultiplier(suite, MultiplierConfig(v_dac_full_scale=1.0, name="high"))
+        )
+        assert high.mean_error_lsb <= low.mean_error_lsb
+        assert high.energy_per_multiplication > low.energy_per_multiplication
+
+    def test_tau0_mainly_costs_energy(self, suite):
+        short = analyze_input_space(
+            InSramMultiplier(suite, MultiplierConfig(tau0=0.16e-9, name="short"))
+        )
+        long = analyze_input_space(
+            InSramMultiplier(suite, MultiplierConfig(tau0=0.25e-9, name="long"))
+        )
+        assert long.energy_per_multiplication > short.energy_per_multiplication
+        # Accuracy moves much less than energy (paper: "minimal influence").
+        assert abs(long.mean_error_lsb - short.mean_error_lsb) < 3.0

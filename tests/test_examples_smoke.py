@@ -1,0 +1,53 @@
+"""Smoke tests keeping the runnable examples importable and executable.
+
+Only the fast examples are executed end-to-end (the DNN example trains for
+minutes and is covered by the Table II benchmark instead); the point here is
+that refactors of the public API cannot silently break the documented entry
+points.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "design_space_exploration.py",
+            "dnn_inference.py",
+            "pvt_robustness.py",
+        } <= names
+
+    def test_quickstart_runs(self, capsys):
+        module = _load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "OPTIMA model" in output
+        assert "reference circuit" in output
+
+    def test_design_space_exploration_runs(self, capsys):
+        module = _load_example("design_space_exploration.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Table I reproduction" in output
+        assert "speed-up" in output
+
+    def test_dnn_example_is_importable(self):
+        module = _load_example("dnn_inference.py")
+        assert hasattr(module, "main")

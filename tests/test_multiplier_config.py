@@ -1,0 +1,79 @@
+"""Tests for the multiplier configuration container."""
+
+import pytest
+
+from repro.multiplier.config import (
+    MultiplierConfig,
+    paper_corner_fom,
+    paper_corner_power,
+    paper_corner_variation,
+)
+
+
+class TestMultiplierConfig:
+    def test_defaults_are_valid(self):
+        config = MultiplierConfig()
+        assert config.bits == 4
+        assert config.max_operand == 15
+        assert config.product_levels == 225
+
+    def test_discharge_times_are_bit_weighted(self):
+        config = MultiplierConfig(tau0=0.2e-9)
+        times = config.discharge_times()
+        assert len(times) == 4
+        assert times[0] == pytest.approx(0.2e-9)
+        assert times[3] == pytest.approx(1.6e-9)
+        assert config.max_discharge_time == pytest.approx(1.6e-9)
+
+    def test_operating_frequency_near_paper_value(self):
+        """The paper quotes ~167 MHz for the fom corner's tau0."""
+        config = MultiplierConfig(tau0=0.16e-9)
+        assert 120e6 < config.operating_frequency < 260e6
+
+    def test_larger_tau0_lowers_frequency(self):
+        fast = MultiplierConfig(tau0=0.16e-9)
+        slow = MultiplierConfig(tau0=0.25e-9)
+        assert slow.operating_frequency < fast.operating_frequency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiplierConfig(tau0=-1e-9)
+        with pytest.raises(ValueError):
+            MultiplierConfig(bits=0)
+        with pytest.raises(ValueError):
+            MultiplierConfig(v_dac_zero=0.8, v_dac_full_scale=0.7)
+        with pytest.raises(ValueError):
+            MultiplierConfig(adc_lsb_voltage=0.0)
+        with pytest.raises(ValueError):
+            MultiplierConfig(dac_nonlinear_exponent=0.0)
+
+    def test_renamed(self):
+        config = MultiplierConfig(name="a").renamed("b")
+        assert config.name == "b"
+
+    def test_dict_roundtrip(self):
+        config = MultiplierConfig(tau0=0.22e-9, v_dac_zero=0.35, name="roundtrip")
+        clone = MultiplierConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_describe_contains_parameters(self):
+        text = MultiplierConfig(name="fom").describe()
+        assert "fom" in text
+        assert "ns" in text
+
+
+class TestPaperCorners:
+    def test_paper_corner_parameters(self):
+        fom = paper_corner_fom()
+        power = paper_corner_power()
+        variation = paper_corner_variation()
+        assert fom.tau0 == pytest.approx(0.16e-9)
+        assert fom.v_dac_full_scale == pytest.approx(1.0)
+        assert power.v_dac_full_scale == pytest.approx(0.7)
+        assert variation.tau0 == pytest.approx(0.24e-9)
+        assert variation.v_dac_zero == pytest.approx(0.4)
+
+    def test_paper_corner_names(self):
+        assert paper_corner_fom().name == "fom"
+        assert paper_corner_power().name == "power"
+        assert paper_corner_variation().name == "variation"

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.converters.adc import Adc
+from repro.converters.dac import LinearDac
+from repro.core.metrics import rms_error, speedup_ratio
+from repro.core.polynomials import Polynomial1D, SeparableProductModel
+from repro.dnn.imc_injection import ExactBackend, LutBackend
+from repro.dnn.quantization import ActivationQuantizer, QuantizationScheme, quantize_weights_symmetric
+from repro.eventsim.kernel import SimulationKernel
+from repro.multiplier.lut import ProductLookupTable
+
+
+class TestPolynomialProperties:
+    @given(
+        coefficients=st.lists(
+            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False), min_size=1, max_size=6
+        ),
+        scale=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        x=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    )
+    def test_scaling_is_linear(self, coefficients, scale, x):
+        poly = Polynomial1D(np.array(coefficients))
+        scaled = poly.scaled(scale)
+        assert float(scaled(x)) == pytest.approx(scale * float(poly(x)), rel=1e-9, abs=1e-9)
+
+    @given(
+        degree_x=st.integers(min_value=0, max_value=3),
+        degree_y=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_separable_fit_recovers_separable_data(self, degree_x, degree_y, seed):
+        rng = np.random.default_rng(seed)
+        coeff_x = rng.uniform(0.5, 1.5, degree_x + 1)
+        coeff_y = rng.uniform(0.5, 1.5, degree_y + 1)
+        x = rng.uniform(-1.0, 1.0, 200)
+        y = rng.uniform(-1.0, 1.0, 200)
+        target = np.polynomial.polynomial.polyval(x, coeff_x) * np.polynomial.polynomial.polyval(
+            y, coeff_y
+        )
+        model = SeparableProductModel(degrees=(degree_x, degree_y))
+        model.fit([x, y], target)
+        assert model.rms_residual([x, y], target) < 1e-6
+
+
+class TestConverterProperties:
+    @given(
+        v_zero=st.floats(min_value=0.1, max_value=0.5),
+        span=st.floats(min_value=0.2, max_value=0.7),
+        code=st.integers(min_value=0, max_value=15),
+    )
+    def test_dac_output_always_inside_range(self, v_zero, span, code):
+        dac = LinearDac(bits=4, v_zero=v_zero, v_full_scale=v_zero + span)
+        voltage = float(dac.voltage(code))
+        assert v_zero - 1e-12 <= voltage <= v_zero + span + 1e-12
+
+    @given(code=st.integers(min_value=0, max_value=15))
+    def test_dac_inverse_is_exact_on_codes(self, code):
+        dac = LinearDac(bits=4, v_zero=0.3, v_full_scale=1.0)
+        assert int(dac.code_for_voltage(dac.voltage(code))) == code
+
+    @given(
+        voltage=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+        levels=st.integers(min_value=8, max_value=512),
+    )
+    def test_adc_reconstruction_error_within_half_lsb(self, voltage, levels):
+        adc = Adc(levels=levels, gain=0.25 / levels)
+        if voltage <= adc.full_scale:
+            error = abs(float(adc.quantization_error(voltage)))
+            assert error <= adc.lsb / 2.0 + 1e-12
+
+
+class TestQuantizationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.01, max_value=2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weight_quantisation_error_bounded(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(0.0, scale, size=(20, 6)).astype(np.float32)
+        codes, scales = quantize_weights_symmetric(weights, QuantizationScheme())
+        reconstructed = codes * scales
+        assert float(np.max(np.abs(reconstructed - weights))) <= float(scales.max()) * 0.5 + 1e-7
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_activation_codes_within_range(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(1.0, 2.0, size=300).astype(np.float32)
+        quantizer = ActivationQuantizer.calibrate(values, QuantizationScheme())
+        codes = quantizer.quantize(values)
+        assert codes.min() >= 0
+        assert codes.max() <= 15
+
+
+class TestBackendProperties:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_lut_equals_exact_backend(self, seed):
+        rng = np.random.default_rng(seed)
+        activations = rng.integers(0, 16, size=(5, 9))
+        weights = rng.integers(-8, 8, size=(9, 3))
+        lut = LutBackend(ProductLookupTable.exact())
+        exact = ExactBackend()
+        assert np.allclose(
+            lut.matmul(activations, weights, activation_zero_point=int(rng.integers(0, 16))),
+            exact.matmul(activations, weights),
+        )
+
+
+class TestMetricProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30
+        )
+    )
+    def test_rms_error_of_identical_arrays_is_zero(self, values):
+        assert rms_error(values, values) == pytest.approx(0.0, abs=1e-12)
+
+    @given(
+        reference=st.floats(min_value=1e-6, max_value=1e3),
+        fast=st.floats(min_value=1e-6, max_value=1e3),
+    )
+    def test_speedup_ratio_is_reciprocal(self, reference, fast):
+        assert speedup_ratio(reference, fast) == pytest.approx(1.0 / speedup_ratio(fast, reference))
+
+
+class TestKernelProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=1e-12, max_value=1e-6, allow_nan=False), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_events_always_execute_in_nondecreasing_time_order(self, delays):
+        kernel = SimulationKernel()
+        executed_times = []
+        for delay in delays:
+            kernel.schedule_at(delay, lambda: executed_times.append(kernel.now))
+        kernel.run()
+        assert executed_times == sorted(executed_times)
+        assert len(executed_times) == len(delays)

@@ -1,0 +1,93 @@
+"""Unit tests for the SRAM array / word / column organisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.conditions import OperatingConditions
+from repro.circuits.sram_array import SramArray, SramWord
+from repro.circuits.sram_cell import SramCell
+from repro.circuits.technology import tsmc65_like
+
+
+@pytest.fixture(scope="module")
+def array():
+    return SramArray(tsmc65_like(), words=8, bits_per_word=4)
+
+
+class TestSramWord:
+    def test_write_read_roundtrip(self):
+        cells = [SramCell(tsmc65_like()) for _ in range(4)]
+        word = SramWord(cells)
+        for value in (0, 1, 7, 15):
+            word.write(value)
+            assert word.read() == value
+
+    def test_bits_are_lsb_first(self):
+        cells = [SramCell(tsmc65_like()) for _ in range(4)]
+        word = SramWord(cells)
+        word.write(0b1010)
+        assert word.bits() == [0, 1, 0, 1]
+
+    def test_out_of_range_value_rejected(self):
+        cells = [SramCell(tsmc65_like()) for _ in range(4)]
+        word = SramWord(cells)
+        with pytest.raises(ValueError):
+            word.write(16)
+        with pytest.raises(ValueError):
+            word.write(-1)
+
+
+class TestSramArray:
+    def test_dimensions(self, array):
+        assert array.words == 8
+        assert array.bits_per_word == 4
+
+    def test_write_read_words(self, array):
+        array.write_word(3, 11)
+        assert array.read_word(3) == 11
+
+    def test_write_all_and_dump(self, array):
+        values = list(range(8))
+        array.write_all(values)
+        assert np.array_equal(array.dump(), np.array(values))
+
+    def test_write_all_wrong_length_rejected(self, array):
+        with pytest.raises(ValueError):
+            array.write_all([1, 2, 3])
+
+    def test_row_column_index_checks(self, array):
+        with pytest.raises(IndexError):
+            array.word(100)
+        with pytest.raises(IndexError):
+            array.column(9)
+        with pytest.raises(IndexError):
+            array.cell(0, 9)
+
+    def test_column_view_shares_cells_with_word_view(self, array):
+        array.write_word(2, 0b0101)
+        column0 = array.column(0)
+        assert column0.cell(2).read() == 1
+        column1 = array.column(1)
+        assert column1.cell(2).read() == 0
+
+    def test_mismatch_seed_produces_distinct_cells(self):
+        array = SramArray(tsmc65_like(), words=4, bits_per_word=4, mismatch_seed=5)
+        offsets = {array.cell(r, c).mismatch.vth_access for r in range(4) for c in range(4)}
+        assert len(offsets) == 16
+
+    def test_no_mismatch_by_default(self, array):
+        assert array.cell(0, 0).mismatch.vth_access == 0.0
+
+    def test_column_discharge_simulation_depends_on_stored_bit(self):
+        array = SramArray(tsmc65_like(), words=4, bits_per_word=2)
+        conditions = OperatingConditions.nominal(tsmc65_like())
+        array.write_word(1, 0b01)
+        column0 = array.column(0)
+        column1 = array.column(1)
+        result_one = column0.simulate_discharge(1, 0.9, 1e-9, conditions)
+        result_zero = column1.simulate_discharge(1, 0.9, 1e-9, conditions)
+        assert float(result_one.final_voltage) < float(result_zero.final_voltage)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SramArray(tsmc65_like(), words=0)

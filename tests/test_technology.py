@@ -1,0 +1,85 @@
+"""Unit tests for the technology card and process corners."""
+
+import math
+
+import pytest
+
+from repro.circuits.technology import ProcessCorner, TechnologyCard, tsmc65_like
+
+
+class TestTechnologyCard:
+    def test_default_card_is_valid(self):
+        card = tsmc65_like()
+        assert card.vdd_nominal > 0.0
+        assert 0.0 < card.vth_nominal < card.vdd_nominal
+
+    def test_invalid_supply_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyCard(vdd_nominal=0.0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyCard(vth_nominal=1.5, vdd_nominal=1.0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyCard(alpha=2.5)
+
+    def test_thermal_voltage_room_temperature(self):
+        card = tsmc65_like()
+        thermal = card.thermal_voltage(300.15)
+        assert 0.024 < thermal < 0.028
+
+    def test_threshold_drops_with_temperature(self):
+        card = tsmc65_like()
+        cold = card.threshold_voltage(273.15)
+        hot = card.threshold_voltage(350.0)
+        assert hot < cold
+
+    def test_mobility_degrades_with_temperature(self):
+        card = tsmc65_like()
+        assert card.mobility_factor(350.0) < card.mobility_factor(300.15)
+        assert card.mobility_factor(card.temperature_nominal) == pytest.approx(1.0)
+
+    def test_device_gain_scales_with_geometry(self):
+        card = tsmc65_like()
+        narrow = card.device_gain(100e-9, 65e-9, card.temperature_nominal)
+        wide = card.device_gain(200e-9, 65e-9, card.temperature_nominal)
+        assert wide == pytest.approx(2.0 * narrow)
+
+    def test_device_gain_rejects_bad_geometry(self):
+        card = tsmc65_like()
+        with pytest.raises(ValueError):
+            card.device_gain(0.0, 65e-9, 300.0)
+
+    def test_mismatch_sigma_follows_pelgrom(self):
+        card = tsmc65_like()
+        small = card.mismatch_sigma_vth(100e-9, 65e-9)
+        large = card.mismatch_sigma_vth(400e-9, 260e-9)
+        assert small == pytest.approx(4.0 * large)
+
+    def test_scaled_returns_modified_copy(self):
+        card = tsmc65_like()
+        scaled = card.scaled(vdd_nominal=1.2)
+        assert scaled.vdd_nominal == pytest.approx(1.2)
+        assert card.vdd_nominal == pytest.approx(1.0)
+
+
+class TestProcessCorner:
+    def test_fast_corner_lowers_threshold(self):
+        card = tsmc65_like()
+        fast = card.threshold_voltage(card.temperature_nominal, ProcessCorner.FAST)
+        typical = card.threshold_voltage(card.temperature_nominal, ProcessCorner.TYPICAL)
+        slow = card.threshold_voltage(card.temperature_nominal, ProcessCorner.SLOW)
+        assert fast < typical < slow
+
+    def test_fast_corner_raises_gain(self):
+        card = tsmc65_like()
+        fast = card.mobility_factor(card.temperature_nominal, ProcessCorner.FAST)
+        slow = card.mobility_factor(card.temperature_nominal, ProcessCorner.SLOW)
+        assert fast > 1.0 > slow
+
+    def test_corner_enum_values(self):
+        assert ProcessCorner("fast") is ProcessCorner.FAST
+        assert ProcessCorner.TYPICAL.threshold_shift == pytest.approx(0.0)
+        assert ProcessCorner.TYPICAL.gain_factor == pytest.approx(1.0)
