@@ -1,0 +1,138 @@
+"""Runtime-subsystem scaling benchmark: executors and the artifact cache.
+
+Two measurements back the `repro.runtime` design claims:
+
+* **parallel scaling** — the 48-corner design-space exploration through the
+  process-pool executor versus the serial one.  Both must produce
+  bit-identical corners; on hosts with >= 4 cores the parallel run must be
+  at least 2x faster.
+* **cache scaling** — a cold characterisation run (every sweep hits the
+  reference solver) versus a warm re-run served entirely from the
+  content-addressed artifact cache, which must be at least 10x faster and
+  execute zero jobs.
+
+The measured numbers are printed and written to
+``benchmarks/results/runtime_scaling.json`` so CI runs leave a machine
+readable artefact alongside the text tables of the other benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import RESULTS_DIR
+
+from repro.core.characterization import CharacterizationPlan, characterize
+from repro.core.dse import explore_design_space
+from repro.runtime import ArtifactCache, ParallelExecutor, SerialExecutor, SweepEngine
+
+
+def _write_json(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_runtime_parallel_scaling(benchmark, suite):
+    cores = os.cpu_count() or 1
+    workers = min(cores, 8)
+
+    serial_engine = SweepEngine(SerialExecutor())
+    start = time.perf_counter()
+    serial = benchmark.pedantic(
+        lambda: explore_design_space(suite, engine=serial_engine), rounds=1, iterations=1
+    )
+    serial_seconds = time.perf_counter() - start
+
+    parallel_engine = SweepEngine(ParallelExecutor(max_workers=workers))
+    start = time.perf_counter()
+    parallel = explore_design_space(suite, engine=parallel_engine)
+    parallel_seconds = time.perf_counter() - start
+
+    # Whatever the schedule, the exploration is bit-identical.
+    assert len(serial.points) == len(parallel.points) == 48
+    for reference, candidate in zip(serial.points, parallel.points):
+        np.testing.assert_array_equal(
+            reference.analysis.results, candidate.analysis.results
+        )
+        assert reference.analysis.energy_per_multiplication == (
+            candidate.analysis.energy_per_multiplication
+        )
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    lines = [
+        "runtime scaling: 48-corner DSE, serial vs process-pool executor",
+        f"  cores={cores}, workers={workers}",
+        f"  serial  : {serial_seconds:.3f} s",
+        f"  parallel: {parallel_seconds:.3f} s",
+        f"  speedup : {speedup:.2f}x (bit-identical results)",
+    ]
+    print("\n" + "\n".join(lines))
+    _write_json(
+        "runtime_scaling_parallel",
+        {
+            "cores": cores,
+            "workers": workers,
+            "corner_count": len(serial.points),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+        },
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"parallel DSE must be >= 2x faster on {cores} cores, got {speedup:.2f}x"
+        )
+
+
+def test_runtime_cache_scaling(benchmark, technology, tmp_path):
+    plan = CharacterizationPlan()
+    cache = ArtifactCache(tmp_path / "artifact-cache")
+
+    cold_engine = SweepEngine(cache=cache)
+    start = time.perf_counter()
+    cold = benchmark.pedantic(
+        lambda: characterize(technology, plan, engine=cold_engine),
+        rounds=1,
+        iterations=1,
+    )
+    cold_seconds = time.perf_counter() - start
+
+    warm_engine = SweepEngine(cache=cache)
+    start = time.perf_counter()
+    warm = characterize(technology, plan, engine=warm_engine)
+    warm_seconds = time.perf_counter() - start
+
+    # The warm run executes nothing — every sweep is served from disk.
+    assert warm_engine.stats.jobs_executed == 0
+    assert warm_engine.stats.cache_hits == warm_engine.stats.jobs_submitted > 0
+    np.testing.assert_array_equal(cold.base.bitline_voltage, warm.base.bitline_voltage)
+    np.testing.assert_array_equal(
+        cold.discharge_energy.energy, warm.discharge_energy.energy
+    )
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    lines = [
+        "runtime scaling: characterisation, cold vs warm artifact cache",
+        f"  records  : {cold.record_count()}",
+        f"  cold run : {cold_seconds:.3f} s ({cold_engine.stats.jobs_executed} jobs executed)",
+        f"  warm run : {warm_seconds:.3f} s (0 jobs executed, "
+        f"{warm_engine.stats.cache_hits} cache hits)",
+        f"  speedup  : {speedup:.1f}x",
+    ]
+    print("\n" + "\n".join(lines))
+    _write_json(
+        "runtime_scaling_cache",
+        {
+            "records": cold.record_count(),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "warm_jobs_executed": warm_engine.stats.jobs_executed,
+            "warm_cache_hits": warm_engine.stats.cache_hits,
+        },
+    )
+    assert speedup >= 10.0, f"warm cache must be >= 10x faster, got {speedup:.1f}x"

@@ -6,10 +6,18 @@ Sweeps the 48-corner design space over ``tau0``, ``V_DAC,0`` and
 trends, the Pareto front and the three selected corners of Table I, and runs
 the Fig. 8 PVT robustness analysis for each selected corner.
 
+All heavy work (characterisation sweeps, the 48 corner evaluations, the
+robustness sweeps) is submitted through a :class:`repro.runtime.SweepEngine`
+with a process-pool executor and a content-addressed artifact cache, so a
+second run of this example is served from disk in milliseconds.  The same
+flow is available as ``python -m repro run dse``.
+
 Run with ``python examples/design_space_exploration.py``.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.analysis.design_space import (
     corner_summary_rows,
@@ -21,15 +29,20 @@ from repro.circuits import tsmc65_like
 from repro.core.calibration import calibrated_suite
 from repro.core.pvt import analyze_corner_robustness
 from repro.core.speedup import measure_speedup
+from repro.runtime import ArtifactCache, ParallelExecutor, SweepEngine
 
 
 def main() -> None:
     technology = tsmc65_like()
-    print("calibrating OPTIMA (cached across examples/benchmarks) ...")
-    suite = calibrated_suite(technology).suite
+    engine = SweepEngine(
+        ParallelExecutor(max_workers=os.cpu_count()), cache=ArtifactCache()
+    )
+    print(f"sweep engine: {engine.describe()}")
+    print("calibrating OPTIMA (characterisation sweeps via the engine) ...")
+    suite = calibrated_suite(technology, engine=engine).suite
 
     print("exploring the 48-corner design space ...")
-    result = run_design_space_exploration(technology, suite=suite)
+    result = run_design_space_exploration(technology, suite=suite, engine=engine)
     print(result.describe())
     print()
 
@@ -62,7 +75,7 @@ def main() -> None:
     # Fig. 8: PVT robustness of the selected corners.
     print("Fig. 8: PVT robustness of the selected corners")
     for corner in result.selected_corners():
-        report = analyze_corner_robustness(suite, corner.config)
+        report = analyze_corner_robustness(suite, corner.config, engine=engine)
         print("  " + report.describe())
     print()
 
@@ -70,6 +83,8 @@ def main() -> None:
     print("speed-up versus the reference circuit simulator:")
     report = measure_speedup(technology, suite, input_space_repetitions=2, monte_carlo_samples=200)
     print(report.describe())
+    print()
+    print(engine.describe())
 
 
 if __name__ == "__main__":

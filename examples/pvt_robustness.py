@@ -7,10 +7,17 @@ simulator, then shows how those variations translate into multiplication
 errors for the selected fom corner (paper Fig. 8, right column) and how the
 event-driven testbench executes one full multiply sequence.
 
+The per-condition reference transients and the model-based sweeps are
+submitted through a :class:`repro.runtime.SweepEngine` (process-pool
+executor + artifact cache); the same flow is available as
+``python -m repro run pvt``.
+
 Run with ``python examples/pvt_robustness.py``.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -25,23 +32,28 @@ from repro.core.calibration import calibrated_suite
 from repro.core.dse import explore_design_space
 from repro.core.pvt import analyze_corner_robustness
 from repro.eventsim import MultiplierTestbench
+from repro.runtime import ArtifactCache, ParallelExecutor, SweepEngine
 
 
 def main() -> None:
     technology = tsmc65_like()
+    engine = SweepEngine(
+        ParallelExecutor(max_workers=os.cpu_count()), cache=ArtifactCache()
+    )
+    print(f"sweep engine: {engine.describe()}")
 
     print("Fig. 5a: supply-voltage influence on the discharge (V_WL = 0.9 V, 2 ns)")
-    supply = supply_sweep(technology)
+    supply = supply_sweep(technology, engine=engine)
     for vdd, trace in sorted(item for item in supply.items() if item[0] > 0):
         print(f"  VDD={vdd:.1f} V: final V_BLB = {trace[-1]:.3f} V")
 
     print("Fig. 5b: temperature influence")
-    temperature = temperature_sweep(technology)
+    temperature = temperature_sweep(technology, engine=engine)
     for temp_c, trace in sorted(item for item in temperature.items() if item[0] >= 0):
         print(f"  T={temp_c:5.1f} degC: final V_BLB = {trace[-1]:.3f} V")
 
     print("Fig. 5c: process corners")
-    corners = corner_sweep(technology)
+    corners = corner_sweep(technology, engine=engine)
     for name in ("fast", "typical", "slow"):
         print(f"  {name:<8}: final V_BLB = {corners[name][-1]:.3f} V")
 
@@ -54,10 +66,10 @@ def main() -> None:
     print()
 
     print("translating PVT variation into multiplication error (fom corner) ...")
-    suite = calibrated_suite(technology).suite
-    exploration = explore_design_space(suite)
+    suite = calibrated_suite(technology, engine=engine).suite
+    exploration = explore_design_space(suite, engine=engine)
     fom = exploration.best_fom().config.renamed("fom")
-    report = analyze_corner_robustness(suite, fom)
+    report = analyze_corner_robustness(suite, fom, engine=engine)
     print(f"  nominal error: {report.nominal_error_lsb:.2f} LSB")
     print("  error versus supply voltage:")
     for vdd, error in zip(report.supply_sweep.values, report.supply_sweep.mean_error_lsb):

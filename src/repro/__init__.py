@@ -17,8 +17,20 @@ The package is organised in layers, bottom-up:
 * :mod:`repro.dnn` — NumPy DNN substrate with INT4 quantisation and
   in-memory-multiplier injection (paper Section VI).
 * :mod:`repro.analysis` — one driver per paper table / figure.
+* :mod:`repro.runtime` — the sweep-execution engine every driver submits
+  its work to: deterministic content-hashed jobs, pluggable executors
+  (serial / process-pool parallel / vectorised batch, all bit-identical)
+  and a content-addressed on-disk artifact cache that makes warm re-runs
+  of characterisation, DSE and PVT sweeps near-instant.  Also home of the
+  unified CLI: ``python -m repro run dse|pvt|characterize|tables`` (see
+  ``python -m repro --help`` for the "Running sweeps at scale" options).
+
+The layering rule: :mod:`repro.runtime` is generic infrastructure and
+imports nothing from the modelling layers; the modelling layers submit
+their sweeps *through* it and default to a serial, cache-less engine that
+reproduces the historical inline loops bit-for-bit.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""``python -m repro`` — unified CLI of the OPTIMA reproduction.
+
+Delegates to :mod:`repro.runtime.cli`; see ``python -m repro --help`` and the
+"Running sweeps at scale" section there for the engine options.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

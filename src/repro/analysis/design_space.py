@@ -14,6 +14,7 @@ from repro.core.calibration import calibrated_suite
 from repro.core.dse import DesignSpace, ExplorationResult, explore_design_space
 from repro.core.model_suite import OptimaModelSuite
 from repro.core.pvt import CornerRobustnessReport, analyze_corner_robustness
+from repro.runtime import SweepEngine
 
 
 def paper_table1_reference() -> List[Dict[str, object]]:
@@ -50,12 +51,18 @@ def run_design_space_exploration(
     technology: Optional[TechnologyCard] = None,
     suite: Optional[OptimaModelSuite] = None,
     space: Optional[DesignSpace] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExplorationResult:
-    """Calibrate (cached) and explore the default 48-corner design space."""
+    """Calibrate (cached) and explore the default 48-corner design space.
+
+    ``engine`` routes both the characterisation sweeps behind the cached
+    calibration and the corner evaluations through the runtime layer, so a
+    parallel executor and an artifact cache accelerate the whole flow.
+    """
     technology = technology or tsmc65_like()
     if suite is None:
-        suite = calibrated_suite(technology).suite
-    return explore_design_space(suite, space=space)
+        suite = calibrated_suite(technology, engine=engine).suite
+    return explore_design_space(suite, space=space, engine=engine)
 
 
 def corner_summary_rows(result: ExplorationResult) -> List[Dict[str, object]]:
@@ -99,11 +106,14 @@ def format_table1(
 def corner_robustness_reports(
     result: ExplorationResult,
     suite: OptimaModelSuite,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, CornerRobustnessReport]:
     """Fig. 8 robustness analysis for every selected corner."""
     reports: Dict[str, CornerRobustnessReport] = {}
     for corner in result.selected_corners():
-        reports[corner.name] = analyze_corner_robustness(suite, corner.config)
+        reports[corner.name] = analyze_corner_robustness(
+            suite, corner.config, engine=engine
+        )
     return reports
 
 

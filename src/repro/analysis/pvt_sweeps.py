@@ -4,6 +4,11 @@ Fig. 5 shows how supply voltage, temperature, global process corners and
 local transistor mismatch move the bit-line discharge.  Each function below
 reproduces one panel and returns flat arrays ready for assertion or
 plotting.
+
+Every panel submits its per-condition transients as independent jobs through
+a :class:`repro.runtime.SweepEngine`, so the reference simulations of one
+panel run concurrently under a parallel executor.  The default engine is
+serial and reproduces the historical inline loops exactly.
 """
 
 from __future__ import annotations
@@ -16,6 +21,19 @@ from repro.circuits.conditions import OperatingConditions, celsius_to_kelvin
 from repro.circuits.mismatch import MismatchParameters, MismatchSampler
 from repro.circuits.technology import ProcessCorner, TechnologyCard
 from repro.circuits.transient import TransientSolver
+from repro.runtime import SweepEngine
+
+
+def _discharge_trace(
+    technology: TechnologyCard,
+    wordline_voltage: float,
+    duration: float,
+    conditions: OperatingConditions,
+) -> Dict[str, np.ndarray]:
+    """One reference transient (module-level so executors can pickle it)."""
+    solver = TransientSolver(technology)
+    result = solver.simulate_discharge(wordline_voltage, duration, conditions)
+    return {"times": result.times, "voltages": np.atleast_1d(result.voltages)}
 
 
 def supply_sweep(
@@ -23,21 +41,27 @@ def supply_sweep(
     wordline_voltage: float = 0.9,
     duration: float = 2.0e-9,
     supply_voltages: Sequence[float] = (0.9, 1.0, 1.1),
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[float, np.ndarray]:
     """Fig. 5a: V_BLB(t) for several supply voltages.
 
     Returns a mapping from supply voltage to the voltage trace; the shared
     time axis is stored under the key ``-1.0``.
     """
-    solver = TransientSolver(technology)
-    traces: Dict[float, np.ndarray] = {}
-    times: Optional[np.ndarray] = None
-    for vdd in supply_voltages:
-        conditions = OperatingConditions(vdd=float(vdd), temperature=technology.temperature_nominal)
-        result = solver.simulate_discharge(wordline_voltage, duration, conditions)
-        traces[float(vdd)] = np.atleast_1d(result.voltages)
-        times = result.times
-    traces[-1.0] = times if times is not None else np.array([])
+    engine = engine or SweepEngine()
+    conditions = [
+        OperatingConditions(vdd=float(vdd), temperature=technology.temperature_nominal)
+        for vdd in supply_voltages
+    ]
+    outputs = engine.map(
+        _discharge_trace,
+        [(technology, wordline_voltage, duration, point) for point in conditions],
+        name="fig5a-supply",
+    )
+    traces: Dict[float, np.ndarray] = {
+        float(vdd): output["voltages"] for vdd, output in zip(supply_voltages, outputs)
+    }
+    traces[-1.0] = outputs[-1]["times"] if outputs else np.array([])
     return traces
 
 
@@ -46,20 +70,27 @@ def temperature_sweep(
     wordline_voltage: float = 0.9,
     duration: float = 2.0e-9,
     temperatures_celsius: Sequence[float] = (0.0, 27.0, 70.0),
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[float, np.ndarray]:
     """Fig. 5b: V_BLB(t) for several junction temperatures."""
-    solver = TransientSolver(technology)
-    traces: Dict[float, np.ndarray] = {}
-    times: Optional[np.ndarray] = None
-    for temperature_c in temperatures_celsius:
-        conditions = OperatingConditions(
+    engine = engine or SweepEngine()
+    conditions = [
+        OperatingConditions(
             vdd=technology.vdd_nominal,
             temperature=celsius_to_kelvin(float(temperature_c)),
         )
-        result = solver.simulate_discharge(wordline_voltage, duration, conditions)
-        traces[float(temperature_c)] = np.atleast_1d(result.voltages)
-        times = result.times
-    traces[-1.0] = times if times is not None else np.array([])
+        for temperature_c in temperatures_celsius
+    ]
+    outputs = engine.map(
+        _discharge_trace,
+        [(technology, wordline_voltage, duration, point) for point in conditions],
+        name="fig5b-temperature",
+    )
+    traces: Dict[float, np.ndarray] = {
+        float(temperature_c): output["voltages"]
+        for temperature_c, output in zip(temperatures_celsius, outputs)
+    }
+    traces[-1.0] = outputs[-1]["times"] if outputs else np.array([])
     return traces
 
 
@@ -67,21 +98,28 @@ def corner_sweep(
     technology: TechnologyCard,
     wordline_voltage: float = 0.9,
     duration: float = 2.0e-9,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, np.ndarray]:
     """Fig. 5c: V_BLB(t) for the fast / typical / slow process corners."""
-    solver = TransientSolver(technology)
-    traces: Dict[str, np.ndarray] = {}
-    times: Optional[np.ndarray] = None
-    for corner in (ProcessCorner.FAST, ProcessCorner.TYPICAL, ProcessCorner.SLOW):
-        conditions = OperatingConditions(
+    engine = engine or SweepEngine()
+    corners = (ProcessCorner.FAST, ProcessCorner.TYPICAL, ProcessCorner.SLOW)
+    conditions = [
+        OperatingConditions(
             vdd=technology.vdd_nominal,
             temperature=technology.temperature_nominal,
             corner=corner,
         )
-        result = solver.simulate_discharge(wordline_voltage, duration, conditions)
-        traces[corner.value] = np.atleast_1d(result.voltages)
-        times = result.times
-    traces["time"] = times if times is not None else np.array([])
+        for corner in corners
+    ]
+    outputs = engine.map(
+        _discharge_trace,
+        [(technology, wordline_voltage, duration, point) for point in conditions],
+        name="fig5c-corners",
+    )
+    traces: Dict[str, np.ndarray] = {
+        corner.value: output["voltages"] for corner, output in zip(corners, outputs)
+    }
+    traces["time"] = outputs[-1]["times"] if outputs else np.array([])
     return traces
 
 
@@ -98,6 +136,9 @@ def mismatch_monte_carlo(
     Returns the per-sample final voltages plus the standard deviation of the
     discharge at several sampling instants (the sigma-versus-time behaviour
     that Eq. 6 models).
+
+    The panel is one vectorised solver call (all samples integrate in a
+    single batch), so it runs as a single job rather than a fan-out.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")

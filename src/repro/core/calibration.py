@@ -25,6 +25,7 @@ from repro.core.characterization import (
 )
 from repro.core.fitting import FitReport, ModelDegrees, fit_all_models
 from repro.core.model_suite import OptimaModelSuite
+from repro.runtime import SweepEngine
 
 
 @dataclasses.dataclass
@@ -48,11 +49,16 @@ def calibrate(
     technology: TechnologyCard,
     plan: Optional[CharacterizationPlan] = None,
     degrees: Optional[ModelDegrees] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> CalibrationResult:
-    """Characterise ``technology`` and fit the full OPTIMA model suite."""
+    """Characterise ``technology`` and fit the full OPTIMA model suite.
+
+    ``engine`` routes the characterisation sweeps through the runtime layer
+    (parallel executors, artifact cache); the default stays serial.
+    """
     plan = plan or CharacterizationPlan()
     degrees = degrees or ModelDegrees()
-    data = characterize(technology, plan)
+    data = characterize(technology, plan, engine=engine)
     fitted = fit_all_models(data, degrees)
     suite = OptimaModelSuite(
         discharge=fitted.discharge,
@@ -81,17 +87,21 @@ def calibrated_suite(
     technology: TechnologyCard,
     plan: Optional[CharacterizationPlan] = None,
     degrees: Optional[ModelDegrees] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> CalibrationResult:
     """Cached variant of :func:`calibrate`.
 
-    The cache key combines the technology name and the plan contents, so
-    asking for the same calibration twice (as the benchmark suite does)
-    re-uses the result instead of re-running the reference sweeps.
+    The in-process cache key combines the technology name and the plan
+    contents, so asking for the same calibration twice (as the benchmark
+    suite does) re-uses the result instead of re-running the reference
+    sweeps.  On top of that, passing an ``engine`` with an attached
+    :class:`repro.runtime.ArtifactCache` persists the characterisation
+    sweeps on disk, so even a *fresh process* skips the reference solver.
     """
     plan = plan or CharacterizationPlan()
     key = (technology.name, hash((plan, degrees)))
     if key not in _CACHE:
-        _CACHE[key] = calibrate(technology, plan, degrees)
+        _CACHE[key] = calibrate(technology, plan, degrees, engine=engine)
     return _CACHE[key]
 
 

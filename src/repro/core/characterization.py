@@ -13,6 +13,13 @@ runs them on the transistor-level reference simulator:
 
 Every sweep is returned as flat, column-oriented NumPy arrays so the fitting
 code can feed them straight into least-squares solvers.
+
+The sweeps are submitted to a :class:`repro.runtime.SweepEngine` as
+independent jobs (one per operating point / table), so a parallel executor
+runs the per-V_DD and per-temperature reference simulations concurrently and
+an attached artifact cache makes warm re-runs skip the reference solver
+entirely.  The default engine is serial and cache-less, which reproduces the
+historical inline behaviour bit-for-bit.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.circuits.energy import EnergyModelReference
 from repro.circuits.mismatch import MismatchParameters, MismatchSampler
 from repro.circuits.technology import TechnologyCard
 from repro.circuits.transient import TransientSolver
+from repro.runtime import Artifact, Job, SweepEngine, SweepSpec, job_key
 
 
 @dataclasses.dataclass(frozen=True)
@@ -179,11 +187,146 @@ def _sample_waveforms(
     return sampled
 
 
+# ----------------------------------------------------------------------
+# Sweep jobs (module-level so the process-pool executor can pickle them)
+# ----------------------------------------------------------------------
+def _discharge_rows_job(
+    technology: TechnologyCard,
+    plan: CharacterizationPlan,
+    conditions: OperatingConditions,
+    solver: Optional[TransientSolver] = None,
+) -> np.ndarray:
+    """One (time x V_WL) discharge sweep at fixed conditions, as a (n, 5) table."""
+    solver = solver or TransientSolver(technology)
+    times = np.asarray(plan.times, dtype=float)
+    v_wl = np.asarray(plan.wordline_voltages, dtype=float)
+    sampled = _sample_waveforms(solver, v_wl, times, conditions)
+    grid_wl, grid_t = np.meshgrid(v_wl, times, indexing="ij")
+    return np.column_stack(
+        [
+            grid_t.ravel(),
+            grid_wl.ravel(),
+            np.full(grid_t.size, conditions.vdd),
+            np.full(grid_t.size, conditions.temperature),
+            sampled.ravel(),
+        ]
+    )
+
+
+def _mismatch_rows_job(
+    technology: TechnologyCard,
+    plan: CharacterizationPlan,
+    conditions: OperatingConditions,
+    solver: Optional[TransientSolver] = None,
+) -> np.ndarray:
+    """The mismatch Monte-Carlo sigma sweep, as a (n, 3) table."""
+    solver = solver or TransientSolver(technology)
+    times = np.asarray(plan.times, dtype=float)
+    sampler = MismatchSampler(
+        MismatchParameters.from_technology(technology), seed=plan.mismatch_seed
+    )
+    mismatch_arrays = sampler.sample_arrays(plan.mismatch_samples)
+    mc_v_wl = np.asarray(plan.mismatch_wordline_voltages, dtype=float)
+    duration = float(times.max())
+    mc_result = solver.simulate_discharge(
+        mc_v_wl[:, np.newaxis], duration, conditions, mismatch=mismatch_arrays
+    )
+    sigma_table = np.empty((mc_v_wl.size, times.size))
+    for column, time in enumerate(times):
+        voltages = mc_result.voltage_at(float(time))
+        sigma_table[:, column] = np.std(voltages, axis=1)
+    mc_grid_wl, mc_grid_t = np.meshgrid(mc_v_wl, times, indexing="ij")
+    return np.column_stack(
+        [mc_grid_t.ravel(), mc_grid_wl.ravel(), sigma_table.ravel()]
+    )
+
+
+def _write_energy_rows_job(
+    technology: TechnologyCard,
+    plan: CharacterizationPlan,
+    conditions: OperatingConditions,
+    energy_reference: Optional[EnergyModelReference] = None,
+) -> np.ndarray:
+    """The (V_DD x temperature) write-energy table, as a (n, 3) table."""
+    energy_reference = energy_reference or EnergyModelReference(technology)
+    vdd_values = np.asarray(plan.supply_voltages, dtype=float)
+    temperatures = np.asarray(
+        [celsius_to_kelvin(t) for t in plan.temperatures_celsius], dtype=float
+    )
+    write_vdd, write_temp = np.meshgrid(vdd_values, temperatures, indexing="ij")
+    energies = np.array(
+        [
+            energy_reference.write_energy(
+                OperatingConditions(vdd=float(v), temperature=float(t), corner=conditions.corner)
+            )
+            for v, t in zip(write_vdd.ravel(), write_temp.ravel())
+        ]
+    )
+    return np.column_stack([write_vdd.ravel(), write_temp.ravel(), energies])
+
+
+def _discharge_energy_rows_job(
+    technology: TechnologyCard,
+    plan: CharacterizationPlan,
+    conditions: OperatingConditions,
+    energy_reference: Optional[EnergyModelReference] = None,
+    sources: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The discharge-energy table derived from the supply / temperature rows.
+
+    ``sources`` is the stacked (n, 5) discharge table of the supply and
+    temperature sweeps; the result appends the reference energy of every
+    record as a (n, 5) table ``[vdd, temperature, delta_v, v_wl, energy]``.
+    """
+    if sources is None:
+        raise ValueError("discharge-energy job needs the source discharge rows")
+    energy_reference = energy_reference or EnergyModelReference(technology)
+    vdd_column = sources[:, 2]
+    temp_column = sources[:, 3]
+    delta_column = sources[:, 2] - sources[:, 4]
+    wl_column = sources[:, 1]
+    energy_column = np.array(
+        [
+            energy_reference.discharge_energy(
+                float(delta),
+                float(wl),
+                OperatingConditions(vdd=float(v), temperature=float(t), corner=conditions.corner),
+            )
+            for delta, wl, v, t in zip(delta_column, wl_column, vdd_column, temp_column)
+        ],
+        dtype=float,
+    )
+    return np.column_stack(
+        [vdd_column, temp_column, delta_column, wl_column, energy_column]
+    )
+
+
+def _encode_rows(rows: np.ndarray) -> Artifact:
+    """Cache codec: one sweep table as a single-array artifact."""
+    return Artifact(arrays={"rows": np.asarray(rows, dtype=float)})
+
+
+def _decode_rows(artifact: Artifact) -> np.ndarray:
+    """Inverse of :func:`_encode_rows`."""
+    return np.asarray(artifact.arrays["rows"], dtype=float)
+
+
+def _discharge_sweep_from_rows(table: np.ndarray) -> DischargeSweep:
+    return DischargeSweep(
+        time=table[:, 0],
+        wordline_voltage=table[:, 1],
+        vdd=table[:, 2],
+        temperature=table[:, 3],
+        bitline_voltage=table[:, 4],
+    )
+
+
 def characterize(
     technology: TechnologyCard,
     plan: Optional[CharacterizationPlan] = None,
     solver: Optional[TransientSolver] = None,
     energy_reference: Optional[EnergyModelReference] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> CharacterizationData:
     """Run every characterisation sweep on the reference simulator.
 
@@ -196,153 +339,101 @@ def characterize(
         for the paper-scale experiments, :meth:`CharacterizationPlan.quick`
         is for tests.
     solver, energy_reference:
-        Optional pre-built reference engines (injected by tests).
+        Optional pre-built reference engines (injected by tests).  When
+        either is injected, artifact caching is disabled — the cache key
+        cannot see inside a custom engine, so serving cached rows for it
+        would be wrong.
+    engine:
+        Sweep-execution engine.  The default is a serial, cache-less
+        :class:`~repro.runtime.SweepEngine`, which reproduces the historical
+        inline behaviour exactly; a parallel executor runs the per-V_DD /
+        per-temperature sweeps concurrently and an attached cache makes warm
+        re-runs skip the reference solver entirely.
     """
     plan = plan or CharacterizationPlan()
-    solver = solver or TransientSolver(technology)
-    energy_reference = energy_reference or EnergyModelReference(technology)
+    engine = engine or SweepEngine()
+    injected = solver is not None or energy_reference is not None
+    # Keys are only worth hashing when a cache can use them; injected
+    # engines disable caching because the key cannot see inside them.
+    cacheable = engine.cache is not None and not injected
 
-    times = np.asarray(plan.times, dtype=float)
-    v_wl = np.asarray(plan.wordline_voltages, dtype=float)
-    vdd_values = np.asarray(plan.supply_voltages, dtype=float)
-    temperatures = np.asarray(
-        [celsius_to_kelvin(t) for t in plan.temperatures_celsius], dtype=float
-    )
+    def sweep_job(tag: str, fn, conditions: OperatingConditions, **kwargs) -> Job:
+        return Job(
+            fn=fn,
+            args=(technology, plan, conditions),
+            kwargs=kwargs,
+            name=f"characterize:{tag}",
+            key=job_key(f"char-{tag}", technology, plan, conditions) if cacheable else None,
+            encode=_encode_rows,
+            decode=_decode_rows,
+        )
+
     nominal = OperatingConditions.nominal(technology)
+    vdd_values = [float(v) for v in plan.supply_voltages]
+    temperatures = [celsius_to_kelvin(float(t)) for t in plan.temperatures_celsius]
 
-    # ------------------------------------------------------------------
-    # Base sweep (nominal PVT)
-    # ------------------------------------------------------------------
-    base_voltages = _sample_waveforms(solver, v_wl, times, nominal)
-    grid_wl, grid_t = np.meshgrid(v_wl, times, indexing="ij")
-    base = DischargeSweep(
-        time=grid_t.ravel(),
-        wordline_voltage=grid_wl.ravel(),
-        vdd=np.full(grid_t.size, nominal.vdd),
-        temperature=np.full(grid_t.size, nominal.temperature),
-        bitline_voltage=base_voltages.ravel(),
-    )
-
-    # ------------------------------------------------------------------
-    # Supply sweep
-    # ------------------------------------------------------------------
-    supply_rows: List[np.ndarray] = []
+    jobs = [sweep_job("base", _discharge_rows_job, nominal, solver=solver)]
     for vdd in vdd_values:
-        conditions = nominal.with_vdd(float(vdd))
-        sampled = _sample_waveforms(solver, v_wl, times, conditions)
-        supply_rows.append(
-            np.column_stack(
-                [
-                    grid_t.ravel(),
-                    grid_wl.ravel(),
-                    np.full(grid_t.size, vdd),
-                    np.full(grid_t.size, nominal.temperature),
-                    sampled.ravel(),
-                ]
-            )
+        jobs.append(
+            sweep_job("supply", _discharge_rows_job, nominal.with_vdd(vdd), solver=solver)
         )
-    supply_table = np.vstack(supply_rows)
-    supply = DischargeSweep(
-        time=supply_table[:, 0],
-        wordline_voltage=supply_table[:, 1],
-        vdd=supply_table[:, 2],
-        temperature=supply_table[:, 3],
-        bitline_voltage=supply_table[:, 4],
-    )
-
-    # ------------------------------------------------------------------
-    # Temperature sweep
-    # ------------------------------------------------------------------
-    temperature_rows: List[np.ndarray] = []
     for temperature in temperatures:
-        conditions = nominal.with_temperature(float(temperature))
-        sampled = _sample_waveforms(solver, v_wl, times, conditions)
-        temperature_rows.append(
-            np.column_stack(
-                [
-                    grid_t.ravel(),
-                    grid_wl.ravel(),
-                    np.full(grid_t.size, nominal.vdd),
-                    np.full(grid_t.size, temperature),
-                    sampled.ravel(),
-                ]
+        jobs.append(
+            sweep_job(
+                "temperature",
+                _discharge_rows_job,
+                nominal.with_temperature(temperature),
+                solver=solver,
             )
         )
-    temperature_table = np.vstack(temperature_rows)
-    temperature_sweep = DischargeSweep(
-        time=temperature_table[:, 0],
-        wordline_voltage=temperature_table[:, 1],
-        vdd=temperature_table[:, 2],
-        temperature=temperature_table[:, 3],
-        bitline_voltage=temperature_table[:, 4],
+    jobs.append(sweep_job("mismatch", _mismatch_rows_job, nominal, solver=solver))
+    jobs.append(
+        sweep_job(
+            "write-energy", _write_energy_rows_job, nominal, energy_reference=energy_reference
+        )
     )
+    tables = engine.run(SweepSpec("characterization", jobs))
 
-    # ------------------------------------------------------------------
-    # Mismatch Monte-Carlo sweep
-    # ------------------------------------------------------------------
-    sampler = MismatchSampler(
-        MismatchParameters.from_technology(technology), seed=plan.mismatch_seed
-    )
-    mismatch_arrays = sampler.sample_arrays(plan.mismatch_samples)
-    mc_v_wl = np.asarray(plan.mismatch_wordline_voltages, dtype=float)
-    duration = float(times.max())
-    mc_result = solver.simulate_discharge(
-        mc_v_wl[:, np.newaxis], duration, nominal, mismatch=mismatch_arrays
-    )
-    sigma_table = np.empty((mc_v_wl.size, times.size))
-    for column, time in enumerate(times):
-        voltages = mc_result.voltage_at(float(time))
-        sigma_table[:, column] = np.std(voltages, axis=1)
-    mc_grid_wl, mc_grid_t = np.meshgrid(mc_v_wl, times, indexing="ij")
+    base = _discharge_sweep_from_rows(tables[0])
+    supply_tables = tables[1 : 1 + len(vdd_values)]
+    temperature_tables = tables[1 + len(vdd_values) : 1 + len(vdd_values) + len(temperatures)]
+    supply = _discharge_sweep_from_rows(np.vstack(supply_tables))
+    temperature_sweep = _discharge_sweep_from_rows(np.vstack(temperature_tables))
+
+    mismatch_table = tables[-2]
     mismatch = MismatchSweep(
-        time=mc_grid_t.ravel(),
-        wordline_voltage=mc_grid_wl.ravel(),
-        sigma=sigma_table.ravel(),
+        time=mismatch_table[:, 0],
+        wordline_voltage=mismatch_table[:, 1],
+        sigma=mismatch_table[:, 2],
     )
 
-    # ------------------------------------------------------------------
-    # Write-energy table
-    # ------------------------------------------------------------------
-    write_vdd, write_temp = np.meshgrid(vdd_values, temperatures, indexing="ij")
-    write_energy_values = np.array(
-        [
-            energy_reference.write_energy(
-                OperatingConditions(vdd=float(v), temperature=float(t), corner=nominal.corner)
-            )
-            for v, t in zip(write_vdd.ravel(), write_temp.ravel())
-        ]
-    )
+    write_table = tables[-1]
     write_energy = WriteEnergySweep(
-        vdd=write_vdd.ravel(),
-        temperature=write_temp.ravel(),
-        energy=write_energy_values,
+        vdd=write_table[:, 0],
+        temperature=write_table[:, 1],
+        energy=write_table[:, 2],
     )
 
-    # ------------------------------------------------------------------
-    # Discharge-energy table (derived from the supply / temperature sweeps)
-    # ------------------------------------------------------------------
-    energy_sources = [supply, temperature_sweep]
-    vdd_column = np.concatenate([sweep.vdd for sweep in energy_sources])
-    temp_column = np.concatenate([sweep.temperature for sweep in energy_sources])
-    delta_column = np.concatenate([sweep.discharge() for sweep in energy_sources])
-    wl_column = np.concatenate([sweep.wordline_voltage for sweep in energy_sources])
-    energy_column = np.array(
-        [
-            energy_reference.discharge_energy(
-                float(delta),
-                float(wl),
-                OperatingConditions(vdd=float(v), temperature=float(t), corner=nominal.corner),
-            )
-            for delta, wl, v, t in zip(delta_column, wl_column, vdd_column, temp_column)
-        ],
-        dtype=float,
+    # Second phase: the discharge-energy table is derived from the supply /
+    # temperature sweep outputs.  Its inputs are a pure function of
+    # (technology, plan), so the cache key does not need to hash the rows.
+    sources = np.vstack([np.vstack(supply_tables), np.vstack(temperature_tables)])
+    energy_job = Job(
+        fn=_discharge_energy_rows_job,
+        args=(technology, plan, nominal),
+        kwargs={"energy_reference": energy_reference, "sources": sources},
+        name="characterize:discharge-energy",
+        key=job_key("char-discharge-energy", technology, plan) if cacheable else None,
+        encode=_encode_rows,
+        decode=_decode_rows,
     )
+    energy_table = engine.run(SweepSpec("characterization-energy", [energy_job]))[0]
     discharge_energy = DischargeEnergySweep(
-        vdd=vdd_column,
-        temperature=temp_column,
-        delta_v_bl=delta_column,
-        wordline_voltage=wl_column,
-        energy=energy_column,
+        vdd=energy_table[:, 0],
+        temperature=energy_table[:, 1],
+        delta_v_bl=energy_table[:, 2],
+        wordline_voltage=energy_table[:, 3],
+        energy=energy_table[:, 4],
     )
 
     return CharacterizationData(

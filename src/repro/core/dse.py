@@ -26,6 +26,7 @@ from repro.core.model_suite import OptimaModelSuite
 from repro.multiplier.config import MultiplierConfig
 from repro.multiplier.error_analysis import InputSpaceAnalysis, analyze_input_space
 from repro.multiplier.imac import InSramMultiplier
+from repro.runtime import Artifact, Job, SweepEngine, SweepSpec, job_key
 
 
 @dataclasses.dataclass(frozen=True)
@@ -275,22 +276,102 @@ class ExplorationResult:
         return "\n".join(lines)
 
 
+def _evaluate_corner(
+    suite: OptimaModelSuite,
+    config: MultiplierConfig,
+    conditions: OperatingConditions,
+) -> DesignPoint:
+    """Evaluate one design corner (module-level so executors can pickle it)."""
+    multiplier = InSramMultiplier(suite, config, conditions=conditions)
+    analysis = analyze_input_space(multiplier, conditions=conditions)
+    return DesignPoint(config=config, analysis=analysis)
+
+
+def _evaluate_corner_batch(jobs: Sequence[Job]) -> List[DesignPoint]:
+    """Vectorised batch evaluator for the batch executor.
+
+    All corners of one batch share the suite and operating conditions, so
+    the batch reuses a single conditions/suite reference instead of
+    re-pickling them per job; the evaluation itself is already fully
+    vectorised over the 256-point input space inside each corner.
+    """
+    return [_evaluate_corner(*job.args) for job in jobs]
+
+
+def _encode_design_point(point: DesignPoint) -> Artifact:
+    """Cache codec: one evaluated corner as arrays + config metadata."""
+    analysis = point.analysis
+    return Artifact(
+        arrays={
+            "expected": analysis.expected,
+            "results": analysis.results,
+            "errors": analysis.errors,
+            "analog_sigma": analysis.analog_sigma,
+        },
+        meta={
+            "config": point.config.to_dict(),
+            "energy_per_multiplication": analysis.energy_per_multiplication,
+            "energy_per_operation": analysis.energy_per_operation,
+            "adc_lsb": analysis.adc_lsb,
+        },
+    )
+
+
+def _decode_design_point(artifact: Artifact) -> DesignPoint:
+    """Inverse of :func:`_encode_design_point`."""
+    config = MultiplierConfig.from_dict(artifact.meta["config"])
+    analysis = InputSpaceAnalysis(
+        config=config,
+        expected=artifact.arrays["expected"],
+        results=artifact.arrays["results"],
+        errors=artifact.arrays["errors"],
+        analog_sigma=artifact.arrays["analog_sigma"],
+        energy_per_multiplication=float(artifact.meta["energy_per_multiplication"]),
+        energy_per_operation=float(artifact.meta["energy_per_operation"]),
+        adc_lsb=float(artifact.meta["adc_lsb"]),
+    )
+    return DesignPoint(config=config, analysis=analysis)
+
+
 def explore_design_space(
     suite: OptimaModelSuite,
     space: Optional[DesignSpace] = None,
     conditions: Optional[OperatingConditions] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExplorationResult:
-    """Evaluate every corner of ``space`` with the OPTIMA-backed multiplier."""
+    """Evaluate every corner of ``space`` with the OPTIMA-backed multiplier.
+
+    Each corner is one independent job submitted through ``engine``; the
+    default serial engine reproduces the historical inline loop exactly,
+    while a parallel executor evaluates corners concurrently (bit-identical
+    results) and an attached artifact cache makes repeated explorations of
+    the same suite near-instant.
+    """
     space = space or DesignSpace()
     conditions = conditions or OperatingConditions(
         vdd=suite.vdd_nominal, temperature=suite.temperature_nominal
     )
-    points: List[DesignPoint] = []
-    for config in space.configurations():
-        multiplier = InSramMultiplier(suite, config, conditions=conditions)
-        analysis = analyze_input_space(multiplier, conditions=conditions)
-        points.append(DesignPoint(config=config, analysis=analysis))
-    return ExplorationResult(points=points, space=space, conditions=conditions)
+    engine = engine or SweepEngine()
+    # Content hashes are only worth computing when a cache can use them;
+    # hoist the suite serialisation out of the per-corner loop either way.
+    suite_dict = suite.to_dict() if engine.cache is not None else None
+    jobs = [
+        Job(
+            fn=_evaluate_corner,
+            args=(suite, config, conditions),
+            name=f"dse:{config.name}",
+            key=(
+                job_key("dse-corner", suite_dict, config, conditions)
+                if suite_dict is not None
+                else None
+            ),
+            encode=_encode_design_point,
+            decode=_decode_design_point,
+        )
+        for config in space.configurations()
+    ]
+    points = engine.run(SweepSpec("design-space", jobs, batch_fn=_evaluate_corner_batch))
+    return ExplorationResult(points=list(points), space=space, conditions=conditions)
 
 
 def select_corners(

@@ -24,6 +24,7 @@ from repro.core.model_suite import OptimaModelSuite
 from repro.multiplier.config import MultiplierConfig
 from repro.multiplier.error_analysis import analyze_input_space, group_by_expected_product
 from repro.multiplier.imac import InSramMultiplier
+from repro.runtime import Job, SweepEngine, SweepSpec
 
 
 @dataclasses.dataclass
@@ -86,12 +87,26 @@ class CornerRobustnessReport:
         )
 
 
+def _mean_error_at_conditions(
+    multiplier: InSramMultiplier,
+    conditions: OperatingConditions,
+) -> float:
+    """Mean error of a nominally-calibrated multiplier at off-nominal conditions.
+
+    Module-level so the process-pool executor can pickle it; the multiplier
+    is built once (calibrated at nominal) and shared by every sweep point,
+    reproducing the "ADC calibrated once at nominal, then swept" protocol.
+    """
+    return float(analyze_input_space(multiplier, conditions=conditions).mean_error_lsb)
+
+
 def analyze_corner_robustness(
     suite: OptimaModelSuite,
     config: MultiplierConfig,
     supply_voltages: Sequence[float] = (0.90, 0.95, 1.00, 1.05, 1.10),
     temperatures_celsius: Sequence[float] = (0.0, 15.0, 27.0, 45.0, 60.0, 70.0),
     conditions: Optional[OperatingConditions] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> CornerRobustnessReport:
     """Run the full Fig. 8 analysis for one corner.
 
@@ -99,10 +114,15 @@ def analyze_corner_robustness(
     fixed across the PVT sweep — exactly the situation a deployed circuit
     faces, and the reason supply/temperature variations translate into
     multiplication errors at all.
+
+    Every point of the supply / temperature sweeps is one independent job
+    submitted through ``engine`` (default: serial, bit-identical to the
+    historical inline loop).
     """
     nominal = conditions or OperatingConditions(
         vdd=suite.vdd_nominal, temperature=suite.temperature_nominal
     )
+    engine = engine or SweepEngine()
     multiplier = InSramMultiplier(suite, config, conditions=nominal)
 
     nominal_analysis = analyze_input_space(multiplier, conditions=nominal)
@@ -116,25 +136,22 @@ def analyze_corner_robustness(
         mean_error=mean_error,
     )
 
-    supply_errors = []
-    for vdd in supply_voltages:
-        analysis = analyze_input_space(
-            multiplier, conditions=nominal.with_vdd(float(vdd))
-        )
-        supply_errors.append(analysis.mean_error_lsb)
+    sweep_points = [nominal.with_vdd(float(vdd)) for vdd in supply_voltages] + [
+        nominal.with_temperature(celsius_to_kelvin(float(t)))
+        for t in temperatures_celsius
+    ]
+    errors = engine.map(
+        _mean_error_at_conditions,
+        [(multiplier, point) for point in sweep_points],
+        name=f"robustness:{config.name}",
+    )
+    supply_errors = errors[: len(supply_voltages)]
+    temperature_errors = errors[len(supply_voltages) :]
     supply_sweep = SensitivitySweep(
         values=np.asarray(supply_voltages, dtype=float),
         mean_error_lsb=np.asarray(supply_errors, dtype=float),
         axis="vdd",
     )
-
-    temperature_errors = []
-    for temperature_c in temperatures_celsius:
-        analysis = analyze_input_space(
-            multiplier,
-            conditions=nominal.with_temperature(celsius_to_kelvin(float(temperature_c))),
-        )
-        temperature_errors.append(analysis.mean_error_lsb)
     temperature_sweep = SensitivitySweep(
         values=np.asarray(temperatures_celsius, dtype=float),
         mean_error_lsb=np.asarray(temperature_errors, dtype=float),
@@ -164,12 +181,32 @@ def analyze_corners(
     }
 
 
+def _monte_carlo_sample(
+    multiplier: InSramMultiplier,
+    conditions: OperatingConditions,
+    seed_sequence: np.random.SeedSequence,
+) -> float:
+    """One Monte-Carlo sample of the mean multiplication error.
+
+    The sample owns a dedicated :class:`numpy.random.SeedSequence` child, so
+    its draws are independent of every other sample and of the execution
+    schedule — serial and parallel runs produce bit-identical values.  The
+    multiplier is built once by the caller and shared across samples.
+    """
+    x_grid, d_grid = multiplier.input_space()
+    expected = (x_grid * d_grid).astype(float)
+    rng = np.random.default_rng(seed_sequence)
+    result = multiplier.multiply(x_grid, d_grid, conditions=conditions, rng=rng)
+    return float(np.mean(np.abs(result - expected)))
+
+
 def monte_carlo_error_distribution(
     suite: OptimaModelSuite,
     config: MultiplierConfig,
     samples: int = 200,
     seed: int = 0,
     conditions: Optional[OperatingConditions] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> np.ndarray:
     """Monte-Carlo distribution of the mean multiplication error.
 
@@ -177,18 +214,28 @@ def monte_carlo_error_distribution(
     evaluates the full input space, returning one mean-error value per
     sample.  This is the fast-model counterpart of the reference
     Monte-Carlo runs used in the speed-up comparison.
+
+    Per-sample seeds are derived with ``np.random.SeedSequence(seed).spawn``
+    rather than by drawing from one sequential generator, so the estimate is
+    independent of how the samples are scheduled: a parallel engine returns
+    bit-identical sigma estimates to the serial one (asserted in
+    ``tests/test_runtime_engine.py``).
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
     nominal = conditions or OperatingConditions(
         vdd=suite.vdd_nominal, temperature=suite.temperature_nominal
     )
+    engine = engine or SweepEngine()
     multiplier = InSramMultiplier(suite, config, conditions=nominal)
-    x_grid, d_grid = multiplier.input_space()
-    expected = (x_grid * d_grid).astype(float)
-    rng = np.random.default_rng(seed)
-    errors = np.empty(samples)
-    for index in range(samples):
-        result = multiplier.multiply(x_grid, d_grid, conditions=nominal, rng=rng)
-        errors[index] = float(np.mean(np.abs(result - expected)))
-    return errors
+    children = np.random.SeedSequence(seed).spawn(samples)
+    jobs = [
+        Job(
+            fn=_monte_carlo_sample,
+            args=(multiplier, nominal, child),
+            name=f"monte-carlo[{index}]",
+        )
+        for index, child in enumerate(children)
+    ]
+    errors = engine.run(SweepSpec(f"monte-carlo:{config.name}", jobs))
+    return np.asarray(errors, dtype=float)

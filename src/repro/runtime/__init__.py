@@ -1,0 +1,187 @@
+"""repro.runtime — parallel sweep execution with content-addressed caching.
+
+Every heavyweight driver in the repository (reference characterisation, the
+48-corner design-space exploration, PVT / Monte-Carlo batches, DNN table
+evaluations) submits its work to one front door, the :class:`SweepEngine`:
+
+* workloads are decomposed into deterministic :class:`~repro.runtime.jobs.Job`
+  units with stable content hashes (:mod:`repro.runtime.jobs`),
+* execution strategy is pluggable — serial, process-pool parallel with
+  configurable chunking, or vectorised batches (:mod:`repro.runtime.executors`)
+  — and every strategy produces bit-identical results,
+* results of cache-enabled jobs are persisted as content-addressed ``.npz``
+  artifacts (:mod:`repro.runtime.cache`), making warm re-runs near-instant,
+* the unified CLI (``python -m repro run dse|pvt|characterize|tables``)
+  routes every paper figure / table through the engine
+  (:mod:`repro.runtime.cli`).
+
+Typical use::
+
+    from repro.runtime import ArtifactCache, ParallelExecutor, SweepEngine
+
+    engine = SweepEngine(ParallelExecutor(max_workers=8), cache=ArtifactCache())
+    result = explore_design_space(suite, engine=engine)   # 48 corners, parallel
+    data = characterize(technology, engine=engine)        # warm cache: instant
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.cache import Artifact, ArtifactCache, CacheStats, default_cache_dir
+from repro.runtime.executors import (
+    BatchExecutor,
+    ParallelExecutor,
+    ProgressCallback,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.jobs import Job, SweepSpec, code_version, fingerprint, job_key
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "BatchExecutor",
+    "CacheStats",
+    "EngineStats",
+    "Job",
+    "ParallelExecutor",
+    "ProgressCallback",
+    "SerialExecutor",
+    "SweepEngine",
+    "SweepSpec",
+    "code_version",
+    "default_cache_dir",
+    "default_engine",
+    "fingerprint",
+    "job_key",
+    "make_executor",
+]
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Aggregate counters of one :class:`SweepEngine` instance."""
+
+    sweeps: int = 0
+    jobs_submitted: int = 0
+    jobs_executed: int = 0
+    cache_hits: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable counter summary."""
+        return (
+            f"{self.sweeps} sweeps, {self.jobs_submitted} jobs submitted, "
+            f"{self.jobs_executed} executed, {self.cache_hits} served from cache"
+        )
+
+
+class SweepEngine:
+    """Unified front door for sweep execution.
+
+    Parameters
+    ----------
+    executor:
+        Execution strategy; defaults to :class:`SerialExecutor`, which keeps
+        every existing driver's behaviour (and numerical output) unchanged.
+    cache:
+        Optional :class:`ArtifactCache`.  Jobs that carry a content hash and
+        codecs are served from the cache when possible and stored after
+        execution; jobs without them always execute.
+    progress:
+        Default progress callback used by :meth:`run` when the caller does
+        not pass one (the CLI installs its progress line here).
+    """
+
+    def __init__(
+        self,
+        executor: Optional[Any] = None,
+        cache: Optional[ArtifactCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        work: Union[SweepSpec, Sequence[Job]],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        """Execute a sweep and return the job results in submission order.
+
+        Cacheable jobs are resolved against the artifact cache first; only
+        the misses are handed to the executor, and their results are stored
+        back so the next run of the same sweep is near-instant.
+        """
+        spec = work if isinstance(work, SweepSpec) else SweepSpec("sweep", list(work))
+        progress = progress if progress is not None else self.progress
+        self.stats.sweeps += 1
+        self.stats.jobs_submitted += len(spec.jobs)
+
+        results: List[Any] = [None] * len(spec.jobs)
+        pending: List[Tuple[int, Job]] = []
+        for index, job in enumerate(spec.jobs):
+            if self.cache is not None and job.cacheable:
+                artifact = self.cache.get(job.key)
+                if artifact is not None:
+                    results[index] = job.decode(artifact)
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append((index, job))
+
+        if pending:
+            pending_jobs = [job for _, job in pending]
+            executed = self.executor.execute(
+                pending_jobs, progress=progress, batch_fn=spec.batch_fn
+            )
+            self.stats.jobs_executed += len(pending_jobs)
+            for (index, job), value in zip(pending, executed):
+                results[index] = value
+                if self.cache is not None and job.cacheable:
+                    self.cache.put(job.key, job.encode(value))
+        return results
+
+    def run_one(self, job: Job) -> Any:
+        """Execute a single job through the engine (cache included)."""
+        return self.run(SweepSpec(job.name or "job", [job]))[0]
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        argument_tuples: Iterable[Tuple[Any, ...]],
+        name: str = "map",
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        """Convenience: run ``fn(*args)`` for every tuple as one sweep."""
+        jobs = [
+            Job(fn=fn, args=tuple(args), name=f"{name}[{index}]")
+            for index, args in enumerate(argument_tuples)
+        ]
+        return self.run(SweepSpec(name, jobs), progress=progress)
+
+    def describe(self) -> str:
+        """Human-readable engine summary (executor, cache, counters)."""
+        executor_name = getattr(self.executor, "name", type(self.executor).__name__)
+        cache_part = self.cache.describe() if self.cache is not None else "no cache"
+        return f"SweepEngine[{executor_name}] — {self.stats.describe()} — {cache_part}"
+
+
+def default_engine(
+    executor: str = "serial",
+    cache_dir: Optional[Any] = None,
+    use_cache: bool = False,
+    **executor_kwargs: Any,
+) -> SweepEngine:
+    """Build an engine from CLI-style options.
+
+    ``use_cache=True`` attaches an :class:`ArtifactCache` rooted at
+    ``cache_dir`` (or the :func:`default_cache_dir`).
+    """
+    cache = ArtifactCache(cache_dir) if use_cache else None
+    return SweepEngine(make_executor(executor, **executor_kwargs), cache=cache)

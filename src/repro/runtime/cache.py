@@ -1,0 +1,197 @@
+"""Content-addressed on-disk artifact cache.
+
+Expensive sweep results (reference-simulator characterisation tables,
+design-space corner evaluations) are stored as ``.npz`` artifacts addressed
+by the SHA-256 content hash of everything that determines them: the sweep
+plan, the technology card, the operating conditions and the code version
+(see :func:`repro.runtime.jobs.job_key`).  A warm re-run of a sweep
+therefore never touches the reference solver — it deserialises the artifact
+and returns.
+
+Robustness properties the tests assert:
+
+* **hash stability** — keys are reproducible across processes, so a cache
+  written by one run is valid for every later one;
+* **invalidation** — any change to the technology card, the plan, the
+  operating conditions or :data:`repro.__version__` changes the key, so
+  stale artifacts are never served;
+* **corrupt-artifact recovery** — an unreadable artifact is treated as a
+  miss and deleted, never as an error;
+* **atomic writes** — artifacts are written to a temporary file and
+  ``os.replace``-d into place, so a crashed run cannot leave a truncated
+  artifact under a live key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+import zipfile
+from typing import Dict, Iterator, Optional, Union
+
+import numpy as np
+
+_META_KEY = "__meta__"
+
+PathLike = Union[str, pathlib.Path]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-optima``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-optima"
+
+
+@dataclasses.dataclass
+class Artifact:
+    """One cached sweep result: named arrays plus JSON-serialisable metadata."""
+
+    arrays: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if _META_KEY in self.arrays:
+            raise ValueError(f"array name {_META_KEY!r} is reserved")
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit / miss counters of one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_dropped: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable counter summary."""
+        return (
+            f"{self.hits} hits, {self.misses} misses, {self.writes} writes, "
+            f"{self.corrupt_dropped} corrupt artifacts dropped"
+        )
+
+
+class ArtifactCache:
+    """Content-addressed ``.npz`` artifact store.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_dir`.  Artifacts
+        are sharded into two-character subdirectories by key prefix so the
+        directory stays navigable at scale.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of the artifact for ``key``."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be lowercase hex digests, got {key!r}")
+        return self.root / key[:2] / f"{key}.npz"
+
+    def has(self, key: str) -> bool:
+        """Whether an artifact (possibly corrupt) exists for ``key``."""
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Artifact]:
+        """Load the artifact for ``key``; a corrupt artifact counts as a miss.
+
+        Corrupt or unreadable files are deleted so the next ``put`` rebuilds
+        them from scratch.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                meta_bytes = bytes(bytearray(archive[_META_KEY]))
+                meta = json.loads(meta_bytes.decode("utf-8"))
+                arrays = {
+                    name: archive[name] for name in archive.files if name != _META_KEY
+                }
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, json.JSONDecodeError):
+            self.stats.corrupt_dropped += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return Artifact(arrays=arrays, meta=meta)
+
+    def put(self, key: str, artifact: Artifact) -> pathlib.Path:
+        """Atomically store ``artifact`` under ``key`` and return its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta_bytes = json.dumps(artifact.meta, sort_keys=True).encode("utf-8")
+        payload = dict(artifact.arrays)
+        payload[_META_KEY] = np.frombuffer(meta_bytes, dtype=np.uint8)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Iterate over every stored artifact key."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.npz")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of the cache in bytes."""
+        if not self.root.exists():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*/*.npz"))
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in list(self.root.glob("*/*.npz")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        """Human-readable cache summary used by ``python -m repro cache info``."""
+        count = len(self)
+        return (
+            f"artifact cache at {self.root}: {count} artifacts, "
+            f"{self.size_bytes() / 1e6:.2f} MB ({self.stats.describe()})"
+        )

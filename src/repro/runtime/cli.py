@@ -1,0 +1,438 @@
+"""Unified command-line front door: ``python -m repro``.
+
+Every paper figure / table driver is reachable through one entry point and
+runs through the :class:`repro.runtime.SweepEngine`::
+
+    python -m repro run dse          # 48-corner design-space exploration
+    python -m repro run pvt          # Fig. 5 sweeps + Fig. 8 robustness
+    python -m repro run characterize # reference characterisation sweeps
+    python -m repro run tables       # DNN accuracy tables (Table II protocol)
+    python -m repro cache info       # artifact-cache statistics
+    python -m repro cache clear      # drop every cached artifact
+
+Running sweeps at scale
+-----------------------
+The engine options apply to every ``run`` subcommand:
+
+* ``--executor parallel --workers N`` fans independent jobs (characterisation
+  operating points, design-space corners, PVT sensitivity points) out over a
+  process pool.  Results are bit-identical to serial execution — jobs are
+  deterministic work units and the engine preserves submission order.
+* ``--chunksize K`` tunes how many jobs ride in one pool task (default:
+  about four chunks per worker), trading scheduling overhead against load
+  balance; ``--executor batch --batch-size K`` instead evaluates grouped
+  corner batches in-process through the sweep's vectorised batch function.
+* Artifact caching is on by default (``--cache-dir`` overrides the location,
+  ``--no-cache`` disables it).  Artifacts are content-addressed by the sweep
+  plan, technology card, operating conditions and code version, so a warm
+  re-run of a characterisation never touches the reference solver and a
+  repeated exploration is served from disk in milliseconds.
+* ``--fast`` switches every workload to its reduced test-scale preset;
+  ``--json PATH`` additionally writes the regenerated rows as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.runtime import ArtifactCache, SweepEngine, default_cache_dir, make_executor
+
+_SCALE_EPILOG = """\
+running sweeps at scale:
+  --executor parallel --workers 8   fan jobs out over a process pool
+  --executor batch --batch-size 16  vectorised corner-grid batches
+  --chunksize 4                     jobs per pool task (parallel executor)
+  --no-cache / --cache-dir DIR      control the content-addressed artifact cache
+  --fast                            reduced test-scale presets
+Parallel, batch and serial execution produce bit-identical results; the cache
+is keyed by plan + technology + conditions + code version, so warm re-runs
+skip the reference solver entirely.
+"""
+
+
+def _progress_printer(stream=sys.stderr):
+    """Single-line progress callback for interactive runs."""
+
+    def progress(done: int, total: int, label: str) -> None:
+        stream.write(f"\r  [{done}/{total}] {label:<40.40}")
+        stream.flush()
+        if done >= total:
+            stream.write("\n")
+
+    return progress
+
+
+class EngineOptionError(ValueError):
+    """Invalid engine option on the command line (bad --workers etc.)."""
+
+
+def build_engine(args: argparse.Namespace) -> SweepEngine:
+    """Construct the SweepEngine described by the common CLI options."""
+    try:
+        executor = make_executor(
+            args.executor,
+            max_workers=args.workers,
+            chunksize=args.chunksize,
+            batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        raise EngineOptionError(str(error)) from error
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    progress = None if args.quiet else _progress_printer()
+    return SweepEngine(executor, cache=cache, progress=progress)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("engine options")
+    group.add_argument(
+        "--executor",
+        choices=("serial", "parallel", "batch"),
+        default="serial",
+        help="execution strategy (default: serial; parallel/batch are bit-identical)",
+    )
+    group.add_argument("--workers", type=int, default=None, help="process-pool size")
+    group.add_argument(
+        "--chunksize", type=int, default=None, help="jobs per pool task (parallel)"
+    )
+    group.add_argument(
+        "--batch-size", type=int, default=None, help="jobs per vectorised batch (batch)"
+    )
+    group.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help=f"artifact cache root (default: {default_cache_dir()})",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
+    group.add_argument(
+        "--fast", action="store_true", help="reduced test-scale presets"
+    )
+    group.add_argument(
+        "--json", type=pathlib.Path, default=None, help="write results as JSON to PATH"
+    )
+    group.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line"
+    )
+
+
+def _emit_json(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
+    if args.json is None:
+        return
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+
+
+def _finish(engine: SweepEngine, elapsed: float) -> None:
+    print(f"\n{engine.describe()}")
+    print(f"total wall time: {elapsed:.2f} s")
+
+
+# ----------------------------------------------------------------------
+# run subcommands
+# ----------------------------------------------------------------------
+def _cmd_run_dse(args: argparse.Namespace) -> int:
+    from repro.analysis.design_space import (
+        corner_summary_rows,
+        format_table1,
+        run_design_space_exploration,
+    )
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.calibration import calibrated_suite
+    from repro.core.characterization import CharacterizationPlan
+    from repro.core.dse import DesignSpace
+
+    engine = build_engine(args)
+    start = time.perf_counter()
+
+    technology = tsmc65_like()
+    plan = CharacterizationPlan.quick() if args.fast else None
+    space = DesignSpace.quick() if args.fast else None
+    print("calibrating OPTIMA models (characterisation via SweepEngine) ...")
+    suite = calibrated_suite(technology, plan=plan, engine=engine).suite
+    print(f"exploring the {(space or DesignSpace()).corner_count}-corner design space ...")
+    result = run_design_space_exploration(
+        technology, suite=suite, space=space, engine=engine
+    )
+    elapsed = time.perf_counter() - start
+
+    print()
+    print(result.describe())
+    print()
+    rows = corner_summary_rows(result)
+    print("Table I reproduction (measured vs paper):")
+    print(format_table1(rows))
+    _finish(engine, elapsed)
+    _emit_json(
+        args,
+        {
+            "command": "dse",
+            "fast": args.fast,
+            "corner_count": len(result.points),
+            "corners": result.table(),
+            "selected": rows,
+            "elapsed_seconds": elapsed,
+        },
+    )
+    return 0
+
+
+def _cmd_run_pvt(args: argparse.Namespace) -> int:
+    from repro.analysis.pvt_sweeps import (
+        corner_sweep,
+        mismatch_monte_carlo,
+        supply_sweep,
+        temperature_sweep,
+    )
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.calibration import calibrated_suite
+    from repro.core.characterization import CharacterizationPlan
+    from repro.core.dse import DesignSpace, explore_design_space
+    from repro.core.pvt import analyze_corner_robustness
+
+    engine = build_engine(args)
+    start = time.perf_counter()
+    technology = tsmc65_like()
+    samples = 200 if args.fast else 1000
+
+    print("Fig. 5: PVT influence on the bit-line discharge (reference simulator)")
+    supply = supply_sweep(technology, engine=engine)
+    for vdd, trace in sorted(item for item in supply.items() if item[0] > 0):
+        print(f"  VDD={vdd:.1f} V: final V_BLB = {trace[-1]:.3f} V")
+    temperature = temperature_sweep(technology, engine=engine)
+    for temp_c, trace in sorted(item for item in temperature.items() if item[0] >= 0):
+        print(f"  T={temp_c:5.1f} degC: final V_BLB = {trace[-1]:.3f} V")
+    corners = corner_sweep(technology, engine=engine)
+    for name in ("fast", "typical", "slow"):
+        print(f"  corner {name:<8}: final V_BLB = {corners[name][-1]:.3f} V")
+    monte_carlo = mismatch_monte_carlo(technology, samples=samples)
+    sigmas = {
+        float(t): float(s)
+        for t, s in zip(
+            monte_carlo["sampling_times"], monte_carlo["sigma_at_sampling_times"]
+        )
+    }
+    for sample_time, sigma in sigmas.items():
+        print(f"  sigma(V_BLB) at {sample_time * 1e9:.1f} ns = {sigma * 1e3:5.2f} mV")
+
+    print("\nFig. 8: robustness of the fom corner (OPTIMA models via SweepEngine)")
+    plan = CharacterizationPlan.quick() if args.fast else None
+    space = DesignSpace.quick() if args.fast else None
+    suite = calibrated_suite(technology, plan=plan, engine=engine).suite
+    exploration = explore_design_space(suite, space=space, engine=engine)
+    fom = exploration.best_fom().config.renamed("fom")
+    report = analyze_corner_robustness(suite, fom, engine=engine)
+    print("  " + report.describe())
+    elapsed = time.perf_counter() - start
+    _finish(engine, elapsed)
+    _emit_json(
+        args,
+        {
+            "command": "pvt",
+            "fast": args.fast,
+            "mismatch_sigma_mv": {str(k): v * 1e3 for k, v in sigmas.items()},
+            "fom_corner": fom.to_dict(),
+            "supply_sweep_error_lsb": [float(v) for v in report.supply_sweep.mean_error_lsb],
+            "temperature_sweep_error_lsb": [
+                float(v) for v in report.temperature_sweep.mean_error_lsb
+            ],
+            "elapsed_seconds": elapsed,
+        },
+    )
+    return 0
+
+
+def _cmd_run_characterize(args: argparse.Namespace) -> int:
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.characterization import CharacterizationPlan, characterize
+
+    engine = build_engine(args)
+    start = time.perf_counter()
+    technology = tsmc65_like()
+    plan = CharacterizationPlan.quick() if args.fast else CharacterizationPlan()
+    print(
+        f"characterising {technology.name} "
+        f"({len(plan.times)} times x {len(plan.wordline_voltages)} V_WL, "
+        f"{len(plan.supply_voltages)} supplies, "
+        f"{len(plan.temperatures_celsius)} temperatures) ..."
+    )
+    data = characterize(technology, plan, engine=engine)
+    elapsed = time.perf_counter() - start
+
+    counts = {
+        "base": len(data.base),
+        "supply": len(data.supply),
+        "temperature": len(data.temperature),
+        "mismatch": len(data.mismatch),
+        "write_energy": len(data.write_energy),
+        "discharge_energy": len(data.discharge_energy),
+    }
+    for sweep, count in counts.items():
+        print(f"  {sweep:<17} {count:6d} records")
+    print(f"  {'total':<17} {data.record_count():6d} records")
+    _finish(engine, elapsed)
+    _emit_json(
+        args,
+        {
+            "command": "characterize",
+            "fast": args.fast,
+            "records": counts,
+            "total_records": data.record_count(),
+            "elapsed_seconds": elapsed,
+        },
+    )
+    return 0
+
+
+def _cmd_run_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.dnn_tables import (
+        DnnExperimentConfig,
+        corner_backends,
+        format_accuracy_table,
+        model_builders,
+        paper_table2_reference,
+        run_dnn_accuracy_experiment,
+    )
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.calibration import calibrated_suite
+    from repro.core.characterization import CharacterizationPlan
+    from repro.core.dse import DesignSpace, explore_design_space, select_corners
+    from repro.dnn.datasets import imagenet_like
+
+    engine = build_engine(args)
+    start = time.perf_counter()
+    technology = tsmc65_like()
+    plan = CharacterizationPlan.quick() if args.fast else None
+    space = DesignSpace.quick() if args.fast else None
+
+    print("selecting multiplier corners (calibration + DSE via SweepEngine) ...")
+    suite = calibrated_suite(technology, plan=plan, engine=engine).suite
+    corners = select_corners(explore_design_space(suite, space=space, engine=engine))
+    backends = corner_backends(technology, suite=suite, corners=corners)
+
+    config = DnnExperimentConfig.quick() if args.fast else DnnExperimentConfig()
+    dataset = imagenet_like(
+        image_size=config.image_size,
+        train_per_class=config.train_per_class,
+        test_per_class=config.test_per_class,
+    )
+    models = model_builders(config.image_size, dataset.classes)
+    if args.fast:
+        models = models[:1]
+    print(
+        f"training + evaluating {len(models)} model(s) on {dataset.name} "
+        f"({dataset.classes} classes) ..."
+    )
+    results = run_dnn_accuracy_experiment(dataset, backends, config=config, models=models)
+    elapsed = time.perf_counter() - start
+
+    print()
+    print("Table II protocol (measured vs paper):")
+    print(format_accuracy_table(results, paper_table2_reference()))
+    _finish(engine, elapsed)
+    _emit_json(
+        args,
+        {
+            "command": "tables",
+            "fast": args.fast,
+            "accuracy": {
+                model: {
+                    mode: {"top1": report.top1, "top5": report.top5}
+                    for mode, report in reports.items()
+                }
+                for model, reports in results.items()
+            },
+            "elapsed_seconds": elapsed,
+        },
+    )
+    return 0
+
+
+_RUN_COMMANDS = {
+    "dse": _cmd_run_dse,
+    "pvt": _cmd_run_pvt,
+    "characterize": _cmd_run_characterize,
+    "tables": _cmd_run_tables,
+}
+
+
+# ----------------------------------------------------------------------
+# cache subcommands
+# ----------------------------------------------------------------------
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifacts from {cache.root}")
+    else:
+        print(cache.describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    import repro
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "OPTIMA reproduction runner: every paper figure / table driver "
+            "behind one sweep-execution engine with parallel executors and a "
+            "content-addressed artifact cache."
+        ),
+        epilog=_SCALE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run a paper workload through the SweepEngine",
+        epilog=_SCALE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    run_parser.add_argument(
+        "workload",
+        choices=sorted(_RUN_COMMANDS),
+        help="dse: 48-corner exploration; pvt: Fig. 5/8 sweeps; "
+        "characterize: reference sweeps; tables: DNN accuracy tables",
+    )
+    _add_engine_options(run_parser)
+
+    cache_parser = subparsers.add_parser("cache", help="inspect / clear the artifact cache")
+    cache_parser.add_argument("cache_command", choices=("info", "clear"))
+    cache_parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help=f"artifact cache root (default: {default_cache_dir()})",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "cache":
+            return _cmd_cache(args)
+        return _RUN_COMMANDS[args.workload](args)
+    except EngineOptionError as error:
+        # Bad engine options (e.g. --workers 0) surface as a clean CLI
+        # error; genuine workload failures keep their traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2

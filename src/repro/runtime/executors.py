@@ -1,0 +1,189 @@
+"""Pluggable sweep executors.
+
+Three strategies run the same list of :class:`~repro.runtime.jobs.Job`
+objects and are required to produce bit-identical, order-preserving results:
+
+* :class:`SerialExecutor` — runs jobs inline; the reference behaviour every
+  other executor must match and the default of :class:`repro.runtime.SweepEngine`.
+* :class:`ParallelExecutor` — fans jobs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with configurable
+  chunking; chunks keep the pickling overhead per job low on fine-grained
+  grids.  Falls back to serial execution when the pool cannot be created
+  (single-CPU hosts, sandboxed environments) or when there is nothing to
+  parallelise.
+* :class:`BatchExecutor` — groups jobs and hands whole groups to a sweep's
+  vectorised ``batch_fn`` (when provided), amortising shared setup across a
+  corner-grid batch; without a ``batch_fn`` it degrades to a chunked serial
+  loop.
+
+Executors never reorder results: job ``i``'s result is always at index
+``i``, whatever completes first.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.jobs import Job
+
+# progress callbacks receive (jobs done, jobs total, label of the last unit)
+ProgressCallback = Callable[[int, int, str], None]
+
+
+def _notify(progress: Optional[ProgressCallback], done: int, total: int, label: str) -> None:
+    if progress is not None:
+        progress(done, total, label)
+
+
+def _run_chunk(jobs: Sequence[Job]) -> List[Any]:
+    """Run a chunk of jobs in the current process (process-pool task body)."""
+    return [job.run() for job in jobs]
+
+
+def _chunked(jobs: Sequence[Job], size: int) -> List[List[Job]]:
+    size = max(1, int(size))
+    return [list(jobs[start : start + size]) for start in range(0, len(jobs), size)]
+
+
+class SerialExecutor:
+    """Run every job inline, in submission order."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback] = None,
+        batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+    ) -> List[Any]:
+        results: List[Any] = []
+        total = len(jobs)
+        for index, job in enumerate(jobs):
+            results.append(job.run())
+            _notify(progress, index + 1, total, job.name)
+        return results
+
+
+class ParallelExecutor:
+    """Process-pool executor with configurable chunking.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; defaults to the host CPU count.
+    chunksize:
+        Jobs per pool task.  The default splits the sweep into roughly four
+        chunks per worker, which balances scheduling overhead against load
+        imbalance on heterogeneous grids.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None, chunksize: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunksize = chunksize
+
+    def _default_chunksize(self, job_count: int) -> int:
+        return max(1, job_count // (4 * self.max_workers))
+
+    def execute(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback] = None,
+        batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+    ) -> List[Any]:
+        if len(jobs) <= 1 or self.max_workers <= 1:
+            return SerialExecutor().execute(jobs, progress)
+        chunksize = self.chunksize or self._default_chunksize(len(jobs))
+        chunks = _chunked(jobs, chunksize)
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.max_workers, len(chunks)))
+        except (OSError, ValueError, PermissionError):
+            # Sandboxes without working semaphores / fork land here; the
+            # sweep still completes, just without the parallel speedup.
+            return SerialExecutor().execute(jobs, progress)
+        results: List[Any] = [None] * len(jobs)
+        total = len(jobs)
+        done = 0
+        try:
+            futures = {pool.submit(_run_chunk, chunk): index for index, chunk in enumerate(chunks)}
+            for future in as_completed(futures):
+                chunk_index = futures[future]
+                chunk = chunks[chunk_index]
+                chunk_results = future.result()
+                offset = chunk_index * chunksize
+                for position, value in enumerate(chunk_results):
+                    results[offset + position] = value
+                done += len(chunk)
+                _notify(progress, done, total, chunk[-1].name)
+        except BrokenExecutor:
+            # Pool construction succeeded but the workers could not start
+            # (process limits, seccomp sandboxes): degrade to serial, same
+            # as when the pool cannot be created at all.
+            pool.shutdown()
+            return SerialExecutor().execute(jobs, progress)
+        finally:
+            pool.shutdown()
+        return results
+
+
+class BatchExecutor:
+    """Grouped executor for vectorisable corner grids.
+
+    Jobs are split into groups of ``batch_size`` and each group is handed to
+    the sweep's ``batch_fn`` in one call, letting the sweep amortise shared
+    setup (model tables, operating-condition objects) across the whole
+    batch.  A sweep without a ``batch_fn`` runs as a chunked serial loop.
+    """
+
+    name = "batch"
+
+    def __init__(self, batch_size: int = 8):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.batch_size = batch_size
+
+    def execute(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback] = None,
+        batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+    ) -> List[Any]:
+        evaluate = batch_fn if batch_fn is not None else _run_chunk
+        results: List[Any] = []
+        total = len(jobs)
+        for batch in _chunked(jobs, self.batch_size):
+            batch_results = list(evaluate(batch))
+            if len(batch_results) != len(batch):
+                raise RuntimeError(
+                    f"batch_fn returned {len(batch_results)} results for {len(batch)} jobs"
+                )
+            results.extend(batch_results)
+            _notify(progress, len(results), total, batch[-1].name)
+        return results
+
+
+_EXECUTOR_FACTORIES = {
+    "serial": lambda **kwargs: SerialExecutor(),
+    "parallel": lambda **kwargs: ParallelExecutor(
+        max_workers=kwargs.get("max_workers"), chunksize=kwargs.get("chunksize")
+    ),
+    "batch": lambda **kwargs: BatchExecutor(batch_size=kwargs.get("batch_size") or 8),
+}
+
+
+def make_executor(name: str, **kwargs: Any):
+    """Build an executor by CLI name (``serial`` / ``parallel`` / ``batch``)."""
+    try:
+        factory = _EXECUTOR_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from {sorted(_EXECUTOR_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,225 @@
+"""Tests for content hashing and the on-disk artifact cache.
+
+Covers the satellite requirements: hash stability across processes,
+invalidation when the technology card / operating conditions / plan / code
+version change, corrupt-artifact recovery, and warm characterisation runs
+that never touch the reference solver.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+import repro.runtime.jobs as jobs_module
+from repro.circuits.conditions import OperatingConditions
+from repro.circuits.technology import ProcessCorner, tsmc65_like
+from repro.core.characterization import CharacterizationPlan, characterize
+from repro.runtime import (
+    Artifact,
+    ArtifactCache,
+    SweepEngine,
+    code_version,
+    default_cache_dir,
+    fingerprint,
+    job_key,
+)
+
+_SUBPROCESS_KEY_SCRIPT = """\
+from repro.circuits.technology import tsmc65_like
+from repro.core.characterization import CharacterizationPlan
+from repro.runtime import job_key
+print(job_key("char-base", tsmc65_like(), CharacterizationPlan.quick()))
+"""
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        technology = tsmc65_like()
+        plan = CharacterizationPlan.quick()
+        assert fingerprint(technology, plan) == fingerprint(technology, plan)
+
+    def test_stable_across_processes(self):
+        """Keys never depend on hash randomisation, id() or repr caprice."""
+        local = job_key("char-base", tsmc65_like(), CharacterizationPlan.quick())
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "271828"  # force a different hash seed
+        remote = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_KEY_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert remote == local
+
+    def test_technology_change_invalidates(self):
+        base = tsmc65_like()
+        assert fingerprint(base) != fingerprint(base.scaled(vth_nominal=0.36))
+        assert fingerprint(base) != fingerprint(base.scaled(bitline_capacitance=51e-15))
+
+    def test_plan_change_invalidates(self):
+        quick = CharacterizationPlan.quick()
+        bigger = CharacterizationPlan.quick()
+        bigger = type(bigger)(
+            times=quick.times,
+            wordline_voltages=quick.wordline_voltages,
+            supply_voltages=(0.9, 1.0),
+            temperatures_celsius=quick.temperatures_celsius,
+            mismatch_wordline_voltages=quick.mismatch_wordline_voltages,
+            mismatch_samples=quick.mismatch_samples,
+        )
+        assert fingerprint(quick) != fingerprint(bigger)
+
+    def test_conditions_change_invalidates(self):
+        nominal = OperatingConditions(vdd=1.0, temperature=300.15)
+        assert fingerprint(nominal) != fingerprint(nominal.with_vdd(1.05))
+        assert fingerprint(nominal) != fingerprint(nominal.with_temperature(310.0))
+        assert fingerprint(nominal) != fingerprint(
+            nominal.with_corner(ProcessCorner.FAST)
+        )
+
+    def test_code_version_change_invalidates(self, monkeypatch):
+        key_before = job_key("tag", 1)
+        monkeypatch.setattr(jobs_module, "_CODE_VERSION", "0.0.0+deadbeef")
+        assert job_key("tag", 1) != key_before
+
+    def test_code_version_includes_source_digest(self):
+        version = code_version()
+        assert version.startswith(repro.__version__ + "+")
+        assert len(version.split("+", 1)[1]) == 16
+
+    def test_array_and_container_support(self):
+        array = np.linspace(0.0, 1.0, 7)
+        assert fingerprint(array) == fingerprint(array.copy())
+        assert fingerprint(array) != fingerprint(array[:-1])
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint((1, 2)) == fingerprint([1, 2])
+        assert fingerprint(np.float64(0.1)) == fingerprint(0.1)
+
+    def test_unfingerprintable_value_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            fingerprint(Opaque())
+
+
+class TestArtifactCache:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = job_key("test-artifact", 1)
+        artifact = Artifact(
+            arrays={"x": np.arange(5.0), "y": np.ones((2, 3))},
+            meta={"label": "toy", "count": 5},
+        )
+        path = cache.put(key, artifact)
+        assert path.exists() and path.suffix == ".npz"
+        assert cache.has(key)
+        loaded = cache.get(key)
+        np.testing.assert_array_equal(loaded.arrays["x"], artifact.arrays["x"])
+        np.testing.assert_array_equal(loaded.arrays["y"], artifact.arrays["y"])
+        assert loaded.meta == artifact.meta
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get(job_key("nothing")) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_artifact_recovery(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = job_key("corrupt-me")
+        cache.put(key, Artifact(arrays={"x": np.arange(3.0)}))
+        path = cache.path_for(key)
+        path.write_bytes(b"this is not an npz archive")
+        assert cache.get(key) is None
+        assert not path.exists(), "corrupt artifact must be deleted"
+        assert cache.stats.corrupt_dropped == 1
+        # the key is usable again after recovery
+        cache.put(key, Artifact(arrays={"x": np.arange(3.0)}))
+        np.testing.assert_array_equal(cache.get(key).arrays["x"], np.arange(3.0))
+
+    def test_reserved_meta_name_rejected(self):
+        with pytest.raises(ValueError):
+            Artifact(arrays={"__meta__": np.zeros(1)})
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path_for("../escape")
+        with pytest.raises(ValueError):
+            cache.path_for("")
+
+    def test_len_size_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for index in range(3):
+            cache.put(job_key("bulk", index), Artifact(arrays={"x": np.arange(4.0)}))
+        assert len(cache) == 3
+        assert cache.size_bytes() > 0
+        assert set(cache.keys()) == {job_key("bulk", i) for i in range(3)}
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert "artifact cache" in cache.describe()
+
+    def test_default_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+        assert ArtifactCache().root == tmp_path / "override"
+
+
+class TestCharacterizationCaching:
+    def test_warm_run_skips_reference_solver(self, technology, tmp_path, monkeypatch):
+        """A warm cache serves every sweep without constructing the solver."""
+        plan = CharacterizationPlan.quick()
+        engine = SweepEngine(cache=ArtifactCache(tmp_path))
+        cold = characterize(technology, plan, engine=engine)
+
+        class ExplodingSolver:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("reference solver touched on a warm cache run")
+
+        import repro.core.characterization as characterization_module
+
+        monkeypatch.setattr(characterization_module, "TransientSolver", ExplodingSolver)
+        warm = characterize(technology, plan, engine=engine)
+        np.testing.assert_array_equal(
+            cold.base.bitline_voltage, warm.base.bitline_voltage
+        )
+        np.testing.assert_array_equal(
+            cold.supply.bitline_voltage, warm.supply.bitline_voltage
+        )
+        np.testing.assert_array_equal(cold.mismatch.sigma, warm.mismatch.sigma)
+        np.testing.assert_array_equal(
+            cold.discharge_energy.energy, warm.discharge_energy.energy
+        )
+        assert engine.stats.cache_hits > 0
+
+    def test_technology_change_misses_cache(self, technology, tmp_path):
+        plan = CharacterizationPlan.quick()
+        cache = ArtifactCache(tmp_path)
+        characterize(technology, plan, engine=SweepEngine(cache=cache))
+        writes_before = cache.stats.writes
+        assert writes_before > 0
+        characterize(
+            technology.scaled(vth_nominal=0.36, name="shifted"),
+            plan,
+            engine=SweepEngine(cache=cache),
+        )
+        assert cache.stats.writes == 2 * writes_before, (
+            "a different technology card must not reuse cached sweeps"
+        )
+
+    def test_injected_solver_disables_caching(self, technology, solver, tmp_path):
+        plan = CharacterizationPlan.quick()
+        cache = ArtifactCache(tmp_path)
+        characterize(technology, plan, solver=solver, engine=SweepEngine(cache=cache))
+        assert len(cache) == 0
+        assert cache.stats.writes == 0

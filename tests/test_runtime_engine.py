@@ -1,0 +1,294 @@
+"""Tests for the sweep-execution engine and its three executors.
+
+The load-bearing guarantees:
+
+* serial, process-pool parallel and vectorised batch executors produce
+  bit-identical, order-preserving results on the same jobs;
+* the design-space exploration and Monte-Carlo PVT flows are
+  schedule-independent (parallel == serial, element for element);
+* cacheable jobs are served from the artifact cache on re-runs;
+* the unified CLI drives a full DSE run end-to-end through the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import CharacterizationPlan, characterize
+from repro.core.dse import DesignSpace, explore_design_space
+from repro.core.pvt import monte_carlo_error_distribution
+from repro.runtime import (
+    Artifact,
+    ArtifactCache,
+    BatchExecutor,
+    Job,
+    ParallelExecutor,
+    SerialExecutor,
+    SweepEngine,
+    SweepSpec,
+    job_key,
+    make_executor,
+)
+from repro.runtime.cli import main as cli_main
+
+
+def _square(value: int) -> int:
+    """Toy job body (module-level so the process pool can pickle it)."""
+    return value * value
+
+
+def _toy_jobs(count: int = 10):
+    return [Job(fn=_square, args=(i,), name=f"square[{i}]") for i in range(count)]
+
+
+def _square_batch(jobs):
+    """Vectorised toy batch evaluator."""
+    values = np.asarray([job.args[0] for job in jobs])
+    return list((values * values).tolist())
+
+
+class TestExecutors:
+    def test_serial_preserves_order(self):
+        results = SerialExecutor().execute(_toy_jobs())
+        assert results == [i * i for i in range(10)]
+
+    @pytest.mark.parametrize("chunksize", [None, 1, 3, 100])
+    def test_parallel_matches_serial(self, chunksize):
+        jobs = _toy_jobs(17)
+        expected = SerialExecutor().execute(jobs)
+        parallel = ParallelExecutor(max_workers=2, chunksize=chunksize)
+        assert parallel.execute(jobs) == expected
+
+    def test_parallel_single_job_falls_back_to_serial(self):
+        assert ParallelExecutor(max_workers=4).execute(_toy_jobs(1)) == [0]
+
+    def test_parallel_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunksize=0)
+
+    def test_batch_without_batch_fn(self):
+        assert BatchExecutor(batch_size=4).execute(_toy_jobs(10)) == [
+            i * i for i in range(10)
+        ]
+
+    def test_batch_with_vectorised_batch_fn(self):
+        results = BatchExecutor(batch_size=3).execute(
+            _toy_jobs(10), batch_fn=_square_batch
+        )
+        assert results == [i * i for i in range(10)]
+
+    def test_batch_fn_result_count_is_validated(self):
+        with pytest.raises(RuntimeError):
+            BatchExecutor(batch_size=4).execute(_toy_jobs(8), batch_fn=lambda jobs: [1])
+
+    def test_batch_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(batch_size=0)
+
+    def test_progress_callback_reaches_total(self):
+        seen = []
+        SerialExecutor().execute(_toy_jobs(5), progress=lambda d, t, n: seen.append((d, t)))
+        assert seen == [(i + 1, 5) for i in range(5)]
+        seen = []
+        ParallelExecutor(max_workers=2, chunksize=2).execute(
+            _toy_jobs(5), progress=lambda d, t, n: seen.append((d, t))
+        )
+        assert seen[-1] == (5, 5)
+
+    def test_make_executor(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert make_executor("parallel", max_workers=3).max_workers == 3
+        assert make_executor("batch", batch_size=5).batch_size == 5
+        with pytest.raises(ValueError):
+            make_executor("quantum")
+
+
+class TestSweepEngine:
+    def test_run_preserves_submission_order(self):
+        engine = SweepEngine(ParallelExecutor(max_workers=2, chunksize=1))
+        results = engine.run(SweepSpec("toy", _toy_jobs(8)))
+        assert results == [i * i for i in range(8)]
+
+    def test_map_convenience(self):
+        engine = SweepEngine()
+        assert engine.map(_square, [(i,) for i in range(4)]) == [0, 1, 4, 9]
+
+    def test_run_one(self):
+        assert SweepEngine().run_one(Job(fn=_square, args=(7,))) == 49
+
+    def test_stats_accumulate(self):
+        engine = SweepEngine()
+        engine.run(SweepSpec("toy", _toy_jobs(3)))
+        engine.run(SweepSpec("toy", _toy_jobs(2)))
+        assert engine.stats.sweeps == 2
+        assert engine.stats.jobs_submitted == 5
+        assert engine.stats.jobs_executed == 5
+        assert "5 jobs submitted" in engine.describe()
+
+    def test_cacheable_jobs_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        executions = []
+
+        def producer(value):
+            executions.append(value)
+            return np.arange(value, dtype=float)
+
+        def build_job(value):
+            return Job(
+                fn=producer,
+                args=(value,),
+                name=f"produce[{value}]",
+                key=job_key("toy-producer", value),
+                encode=lambda result: Artifact(arrays={"data": result}),
+                decode=lambda artifact: artifact.arrays["data"],
+            )
+
+        engine = SweepEngine(cache=cache)
+        first = engine.run(SweepSpec("toy", [build_job(5), build_job(6)]))
+        second = engine.run(SweepSpec("toy", [build_job(5), build_job(6)]))
+        assert executions == [5, 6], "second run must be served from the cache"
+        assert engine.stats.cache_hits == 2
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_uncacheable_jobs_always_execute(self, tmp_path):
+        engine = SweepEngine(cache=ArtifactCache(tmp_path))
+        engine.run(SweepSpec("toy", _toy_jobs(3)))
+        engine.run(SweepSpec("toy", _toy_jobs(3)))
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.jobs_executed == 6
+
+
+class TestScheduleIndependence:
+    """Parallel and batch execution must be bit-identical to serial."""
+
+    def test_dse_parallel_and_batch_match_serial(self, quick_suite):
+        space = DesignSpace.quick()
+        serial = explore_design_space(quick_suite, space)
+        parallel = explore_design_space(
+            quick_suite,
+            space,
+            engine=SweepEngine(ParallelExecutor(max_workers=2, chunksize=2)),
+        )
+        batched = explore_design_space(
+            quick_suite, space, engine=SweepEngine(BatchExecutor(batch_size=3))
+        )
+        assert len(serial.points) == space.corner_count
+        for reference, candidate in zip(serial.points, parallel.points):
+            np.testing.assert_array_equal(
+                reference.analysis.results, candidate.analysis.results
+            )
+            assert reference.analysis.energy_per_multiplication == (
+                candidate.analysis.energy_per_multiplication
+            )
+            assert reference.config == candidate.config
+        for reference, candidate in zip(serial.points, batched.points):
+            np.testing.assert_array_equal(
+                reference.analysis.results, candidate.analysis.results
+            )
+
+    def test_monte_carlo_sigma_is_schedule_independent(self, quick_suite, fom_config):
+        """SeedSequence.spawn-derived seeds make serial and parallel runs
+        produce bit-identical sigma estimates (satellite requirement)."""
+        serial = monte_carlo_error_distribution(
+            quick_suite, fom_config, samples=16, seed=42
+        )
+        parallel = monte_carlo_error_distribution(
+            quick_suite,
+            fom_config,
+            samples=16,
+            seed=42,
+            engine=SweepEngine(ParallelExecutor(max_workers=2, chunksize=3)),
+        )
+        np.testing.assert_array_equal(serial, parallel)
+        assert float(np.std(serial)) == float(np.std(parallel))
+        assert float(np.std(serial)) > 0.0
+
+    def test_characterization_parallel_matches_serial(self, technology):
+        plan = CharacterizationPlan.quick()
+        serial = characterize(technology, plan)
+        parallel = characterize(
+            technology,
+            plan,
+            engine=SweepEngine(ParallelExecutor(max_workers=2, chunksize=1)),
+        )
+        np.testing.assert_array_equal(
+            serial.base.bitline_voltage, parallel.base.bitline_voltage
+        )
+        np.testing.assert_array_equal(
+            serial.supply.bitline_voltage, parallel.supply.bitline_voltage
+        )
+        np.testing.assert_array_equal(serial.mismatch.sigma, parallel.mismatch.sigma)
+        np.testing.assert_array_equal(
+            serial.discharge_energy.energy, parallel.discharge_energy.energy
+        )
+
+
+class TestCli:
+    def test_run_dse_fast_end_to_end(self, tmp_path, capsys):
+        json_path = tmp_path / "dse.json"
+        exit_code = cli_main(
+            [
+                "run",
+                "dse",
+                "--fast",
+                "--quiet",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table I reproduction" in output
+        assert "SweepEngine" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["corner_count"] == DesignSpace.quick().corner_count
+        assert {row["corner"] for row in payload["selected"]} == {
+            "fom",
+            "power",
+            "variation",
+        }
+
+    def test_run_dse_fast_warm_cache_executes_nothing(self, tmp_path, capsys):
+        args = ["run", "dse", "--fast", "--quiet", "--cache-dir", str(tmp_path / "cache")]
+        assert cli_main(args) == 0
+        capsys.readouterr()
+        assert cli_main(args) == 0
+        output = capsys.readouterr().out
+        assert " 0 executed" in output
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert cli_main(["run", "dse", "--fast", "--quiet", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "artifacts" in capsys.readouterr().out
+        assert cli_main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert len(ArtifactCache(cache_dir)) == 0
+
+    def test_executor_cli_choices(self, tmp_path):
+        for executor in ("serial", "parallel", "batch"):
+            assert (
+                cli_main(
+                    [
+                        "run",
+                        "characterize",
+                        "--fast",
+                        "--quiet",
+                        "--executor",
+                        executor,
+                        "--cache-dir",
+                        str(tmp_path / f"cache-{executor}"),
+                    ]
+                )
+                == 0
+            )
