@@ -24,13 +24,21 @@ The package is organised in layers, bottom-up:
   of characterisation, DSE and PVT sweeps near-instant.  Also home of the
   unified CLI: ``python -m repro run dse|pvt|characterize|tables`` (see
   ``python -m repro --help`` for the "Running sweeps at scale" options).
+* :mod:`repro.service` — the long-lived serving front-end on top of the
+  engine (``python -m repro serve``): an asyncio TCP server that accepts
+  sweep requests from many concurrent clients over newline-delimited
+  JSON, single-flights identical in-flight requests, streams per-job
+  progress events, and shares one size-bounded (LRU-evicting) artifact
+  cache across all of them.
 
 The layering rule: :mod:`repro.runtime` is generic infrastructure and
 imports nothing from the modelling layers; the modelling layers submit
 their sweeps *through* it and default to a serial, cache-less engine that
-reproduces the historical inline loops bit-for-bit.
+reproduces the historical inline loops bit-for-bit.  :mod:`repro.service`
+sits above both: it imports the runtime unconditionally and the modelling
+layers only lazily, per workload.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -1,7 +1,9 @@
 """``python -m repro`` — unified CLI of the OPTIMA reproduction.
 
 Delegates to :mod:`repro.runtime.cli`; see ``python -m repro --help`` and the
-"Running sweeps at scale" section there for the engine options.
+"Running sweeps at scale" section there for the engine options, and
+``python -m repro serve --help`` for the multi-client sweep service
+(:mod:`repro.service`).
 """
 
 from __future__ import annotations

@@ -10,10 +10,12 @@ evaluations) submits its work to one front door, the :class:`SweepEngine`:
   configurable chunking, or vectorised batches (:mod:`repro.runtime.executors`)
   — and every strategy produces bit-identical results,
 * results of cache-enabled jobs are persisted as content-addressed ``.npz``
-  artifacts (:mod:`repro.runtime.cache`), making warm re-runs near-instant,
+  artifacts (:mod:`repro.runtime.cache`); ``ArtifactCache(max_bytes=...)``
+  additionally LRU-evicts cold artifacts so the cache stays size-bounded,
 * the unified CLI (``python -m repro run dse|pvt|characterize|tables``)
   routes every paper figure / table through the engine
-  (:mod:`repro.runtime.cli`).
+  (:mod:`repro.runtime.cli`), and ``python -m repro serve`` exposes the
+  same engine to many concurrent network clients (:mod:`repro.service`).
 
 Typical use::
 
@@ -22,11 +24,22 @@ Typical use::
     engine = SweepEngine(ParallelExecutor(max_workers=8), cache=ArtifactCache())
     result = explore_design_space(suite, engine=engine)   # 48 corners, parallel
     data = characterize(technology, engine=engine)        # warm cache: instant
+
+Long-lived serving (see :mod:`repro.service` for the protocol)::
+
+    engine = SweepEngine(cache=ArtifactCache(max_bytes=2_000_000_000))
+    service = SweepService(engine, port=7463)     # asyncio TCP front door
+    await service.serve_forever()                 # single-flight + streaming
+
+Progress callbacks always see the *true* sweep size: cache hits count as
+completed work, so a warm re-run still reports ``total`` ticks instead of
+going dark.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.cache import Artifact, ArtifactCache, CacheStats, default_cache_dir
@@ -104,6 +117,11 @@ class SweepEngine:
         self.cache = cache
         self.progress = progress
         self.stats = EngineStats()
+        # Counter updates are read-modify-write; the serving layer runs
+        # sweeps from several worker threads against shallow engine copies
+        # that share this lock (and the stats object), so fleet-wide
+        # counters stay exact under concurrency.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Execution
@@ -121,26 +139,44 @@ class SweepEngine:
         """
         spec = work if isinstance(work, SweepSpec) else SweepSpec("sweep", list(work))
         progress = progress if progress is not None else self.progress
-        self.stats.sweeps += 1
-        self.stats.jobs_submitted += len(spec.jobs)
+        with self._stats_lock:
+            self.stats.sweeps += 1
+            self.stats.jobs_submitted += len(spec.jobs)
 
+        # Progress is always reported against the true sweep size: cache
+        # hits count as completed work, so a warm run still emits events
+        # and a mixed run never jumps from a smaller executed-only total.
+        total = len(spec.jobs)
         results: List[Any] = [None] * len(spec.jobs)
         pending: List[Tuple[int, Job]] = []
+        hits = 0
         for index, job in enumerate(spec.jobs):
             if self.cache is not None and job.cacheable:
                 artifact = self.cache.get(job.key)
                 if artifact is not None:
                     results[index] = job.decode(artifact)
-                    self.stats.cache_hits += 1
+                    with self._stats_lock:
+                        self.stats.cache_hits += 1
+                    hits += 1
+                    if progress is not None:
+                        progress(hits, total, f"{job.name or 'job'} (cached)")
                     continue
             pending.append((index, job))
 
         if pending:
             pending_jobs = [job for _, job in pending]
+            executor_progress = None
+            if progress is not None:
+                offset = hits
+
+                def executor_progress(done: int, _executed_total: int, label: str) -> None:
+                    progress(offset + done, total, label)
+
             executed = self.executor.execute(
-                pending_jobs, progress=progress, batch_fn=spec.batch_fn
+                pending_jobs, progress=executor_progress, batch_fn=spec.batch_fn
             )
-            self.stats.jobs_executed += len(pending_jobs)
+            with self._stats_lock:
+                self.stats.jobs_executed += len(pending_jobs)
             for (index, job), value in zip(pending, executed):
                 results[index] = value
                 if self.cache is not None and job.cacheable:

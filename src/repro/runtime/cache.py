@@ -19,7 +19,16 @@ Robustness properties the tests assert:
   miss and deleted, never as an error;
 * **atomic writes** — artifacts are written to a temporary file and
   ``os.replace``-d into place, so a crashed run cannot leave a truncated
-  artifact under a live key.
+  artifact under a live key.  Temporary files orphaned by a crashed
+  ``put`` still occupy disk, so :meth:`ArtifactCache.size_bytes` counts
+  them and :meth:`ArtifactCache.clear` / :meth:`ArtifactCache.evict`
+  sweep them;
+* **size-bounded LRU eviction** — a cache built with ``max_bytes`` evicts
+  least-recently-used artifacts whenever a ``put`` pushes it over the
+  limit (never the artifact just written).  Recency is tracked through
+  the filesystem: every ``get`` hit bumps the artifact's timestamps via
+  ``os.utime``, so eviction order survives process restarts and needs no
+  sidecar index.
 """
 
 from __future__ import annotations
@@ -29,12 +38,18 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
+import time
 import zipfile
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 _META_KEY = "__meta__"
+
+# A tmp file this old cannot belong to an in-flight put(); evict() treats it
+# as garbage from a crashed writer.  clear() sweeps tmp files regardless.
+_STALE_TMP_SECONDS = 3600.0
 
 PathLike = Union[str, pathlib.Path]
 
@@ -67,12 +82,14 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     corrupt_dropped: int = 0
+    evictions: int = 0
 
     def describe(self) -> str:
         """Short human-readable counter summary."""
         return (
             f"{self.hits} hits, {self.misses} misses, {self.writes} writes, "
-            f"{self.corrupt_dropped} corrupt artifacts dropped"
+            f"{self.corrupt_dropped} corrupt artifacts dropped, "
+            f"{self.evictions} evicted"
         )
 
 
@@ -85,11 +102,27 @@ class ArtifactCache:
         Cache directory; defaults to :func:`default_cache_dir`.  Artifacts
         are sharded into two-character subdirectories by key prefix so the
         directory stays navigable at scale.
+    max_bytes:
+        Optional size bound.  When set, every :meth:`put` that pushes the
+        on-disk footprint over the limit evicts least-recently-used
+        artifacts (never the one just written) until the cache fits;
+        :meth:`evict` applies the same policy on demand.
     """
 
-    def __init__(self, root: Optional[PathLike] = None):
+    def __init__(self, root: Optional[PathLike] = None, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
+        # Guards counter updates and the footprint estimate: the serving
+        # layer drives one cache from several worker threads.
+        self._lock = threading.Lock()
+        # Running footprint estimate so a put() below the limit never has
+        # to rescan the whole store.  Seeded from disk on first use; other
+        # writer processes are invisible to it, which only delays (never
+        # prevents) an eviction pass — evict() always measures exactly.
+        self._size_estimate: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Addressing
@@ -115,7 +148,8 @@ class ArtifactCache:
         """
         path = self.path_for(key)
         if not path.exists():
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
@@ -125,18 +159,31 @@ class ArtifactCache:
                     name: archive[name] for name in archive.files if name != _META_KEY
                 }
         except (OSError, ValueError, KeyError, zipfile.BadZipFile, json.JSONDecodeError):
-            self.stats.corrupt_dropped += 1
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.corrupt_dropped += 1
+                self.stats.misses += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
+        try:
+            # Bump the timestamps so LRU eviction sees this artifact as
+            # recently used even on filesystems mounted noatime.
+            os.utime(path)
+        except OSError:
+            pass
         return Artifact(arrays=arrays, meta=meta)
 
     def put(self, key: str, artifact: Artifact) -> pathlib.Path:
-        """Atomically store ``artifact`` under ``key`` and return its path."""
+        """Atomically store ``artifact`` under ``key`` and return its path.
+
+        With ``max_bytes`` configured, a write that pushes the cache over
+        the limit triggers LRU eviction; the artifact just written is
+        always protected from it.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         meta_bytes = json.dumps(artifact.meta, sort_keys=True).encode("utf-8")
@@ -153,45 +200,133 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
+        over_limit = False
+        with self._lock:
+            self.stats.writes += 1
+            if self.max_bytes is not None:
+                try:
+                    written = path.stat().st_size
+                except OSError:
+                    written = 0
+                if self._size_estimate is None:
+                    self._size_estimate = self.size_bytes()
+                else:
+                    self._size_estimate += written
+                over_limit = self._size_estimate > self.max_bytes
+        if over_limit:
+            self.evict(protect=(key,))
         return path
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def _artifact_paths(self) -> List[pathlib.Path]:
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.npz"))
+
+    def _tmp_paths(self) -> List[pathlib.Path]:
+        """Temporary files orphaned by a ``put`` that crashed mid-write."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.npz.tmp"))
+
     def keys(self) -> Iterator[str]:
         """Iterate over every stored artifact key."""
-        if not self.root.exists():
-            return
-        for path in sorted(self.root.glob("*/*.npz")):
+        for path in self._artifact_paths():
             yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def size_bytes(self) -> int:
-        """Total on-disk footprint of the cache in bytes."""
-        if not self.root.exists():
-            return 0
-        return sum(path.stat().st_size for path in self.root.glob("*/*.npz"))
+        """Total on-disk footprint in bytes, stray tmp files included."""
+        total = 0
+        for path in self._artifact_paths() + self._tmp_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # deleted concurrently
+        return total
 
     def clear(self) -> int:
-        """Delete every artifact; returns the number of files removed."""
+        """Delete every artifact and stray tmp file; returns files removed."""
         removed = 0
-        if not self.root.exists():
-            return removed
-        for path in list(self.root.glob("*/*.npz")):
+        for path in self._artifact_paths() + self._tmp_paths():
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
+        with self._lock:
+            self._size_estimate = 0
+        return removed
+
+    def evict(
+        self,
+        max_bytes: Optional[int] = None,
+        protect: Sequence[str] = (),
+    ) -> int:
+        """Evict least-recently-used artifacts until the cache fits.
+
+        Parameters
+        ----------
+        max_bytes:
+            Size bound to enforce; defaults to the cache's configured
+            ``max_bytes``.  Raises :class:`ValueError` when neither is set.
+        protect:
+            Keys that must survive this pass whatever their recency —
+            ``put`` uses it so eviction never drops the artifact just
+            written.
+
+        Returns the number of files removed.  Stale tmp files (older than
+        one hour, i.e. certainly not an in-flight write) are swept first;
+        artifacts are then removed oldest-first, where age is the newest of
+        ``st_atime`` / ``st_mtime`` (every cache hit bumps both).
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        if limit is None:
+            raise ValueError("evict() needs max_bytes (argument or constructor)")
+        removed = 0
+        stale_before = time.time() - _STALE_TMP_SECONDS
+        for tmp in self._tmp_paths():
+            try:
+                if tmp.stat().st_mtime < stale_before:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        entries = []
+        for path in self._artifact_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((max(stat.st_atime, stat.st_mtime), stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        protected = {self.path_for(key) for key in protect}
+        for _, size, path in sorted(entries, key=lambda entry: (entry[0], entry[2])):
+            if total <= limit:
+                break
+            if path in protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            with self._lock:
+                self.stats.evictions += 1
+        with self._lock:
+            self._size_estimate = total
         return removed
 
     def describe(self) -> str:
         """Human-readable cache summary used by ``python -m repro cache info``."""
         count = len(self)
+        limit = "unbounded" if self.max_bytes is None else f"limit {self.max_bytes / 1e6:.2f} MB"
         return (
             f"artifact cache at {self.root}: {count} artifacts, "
-            f"{self.size_bytes() / 1e6:.2f} MB ({self.stats.describe()})"
+            f"{self.size_bytes() / 1e6:.2f} MB, {limit} ({self.stats.describe()})"
         )

@@ -7,8 +7,10 @@ runs through the :class:`repro.runtime.SweepEngine`::
     python -m repro run pvt          # Fig. 5 sweeps + Fig. 8 robustness
     python -m repro run characterize # reference characterisation sweeps
     python -m repro run tables       # DNN accuracy tables (Table II protocol)
+    python -m repro serve            # long-lived sweep service (repro.service)
     python -m repro cache info       # artifact-cache statistics
     python -m repro cache clear      # drop every cached artifact
+    python -m repro cache evict --max-bytes 500M   # LRU-trim the cache
 
 Running sweeps at scale
 -----------------------
@@ -29,6 +31,19 @@ The engine options apply to every ``run`` subcommand:
   repeated exploration is served from disk in milliseconds.
 * ``--fast`` switches every workload to its reduced test-scale preset;
   ``--json PATH`` additionally writes the regenerated rows as JSON.
+* ``--max-bytes N`` (accepts ``K``/``M``/``G`` suffixes) bounds the cache:
+  least-recently-used artifacts are evicted whenever a write pushes the
+  cache over the limit.  ``python -m repro cache evict --max-bytes N``
+  applies the same policy on demand.
+
+Serving sweeps to many clients
+------------------------------
+``python -m repro serve --host H --port P`` starts the long-lived
+:mod:`repro.service` front door on top of the same engine: concurrent
+clients submit DSE / PVT / characterisation sweeps over a
+newline-delimited-JSON TCP protocol, identical in-flight requests are
+deduplicated (single-flight), and per-job progress events stream back to
+every client (see :mod:`repro.service` for the client API).
 """
 
 from __future__ import annotations
@@ -48,10 +63,12 @@ running sweeps at scale:
   --executor batch --batch-size 16  vectorised corner-grid batches
   --chunksize 4                     jobs per pool task (parallel executor)
   --no-cache / --cache-dir DIR      control the content-addressed artifact cache
+  --max-bytes 500M                  LRU-bound the cache (also: cache evict)
   --fast                            reduced test-scale presets
 Parallel, batch and serial execution produce bit-identical results; the cache
 is keyed by plan + technology + conditions + code version, so warm re-runs
-skip the reference solver entirely.
+skip the reference solver entirely.  `python -m repro serve` exposes the same
+engine to many concurrent clients over TCP (see `serve --help`).
 """
 
 
@@ -71,6 +88,23 @@ class EngineOptionError(ValueError):
     """Invalid engine option on the command line (bad --workers etc.)."""
 
 
+def parse_size(text: str) -> int:
+    """Parse a byte count with optional K/M/G suffix (``500M`` -> 5e8)."""
+    raw = text.strip().lower().removesuffix("b")
+    multipliers = {"k": 10**3, "m": 10**6, "g": 10**9}
+    multiplier = 1
+    if raw and raw[-1] in multipliers:
+        multiplier = multipliers[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * multiplier)
+    except (ValueError, OverflowError):  # OverflowError: "inf", "1e999"
+        raise ValueError(f"invalid size {text!r} (expected e.g. 500000000, 500M, 2G)") from None
+    if value < 0:
+        raise ValueError("size must be non-negative")
+    return value
+
+
 def build_engine(args: argparse.Namespace) -> SweepEngine:
     """Construct the SweepEngine described by the common CLI options."""
     try:
@@ -82,12 +116,28 @@ def build_engine(args: argparse.Namespace) -> SweepEngine:
         )
     except ValueError as error:
         raise EngineOptionError(str(error)) from error
-    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
-    progress = None if args.quiet else _progress_printer()
+    cache = (
+        None
+        if args.no_cache
+        else ArtifactCache(args.cache_dir, max_bytes=args.max_bytes)
+    )
+    # Commands without a --quiet flag (serve) never print a progress line:
+    # their progress streams to clients instead of the server console.
+    progress = None if getattr(args, "quiet", True) else _progress_printer()
     return SweepEngine(executor, cache=cache, progress=progress)
 
 
-def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+def _add_cache_size_option(group) -> None:
+    group.add_argument(
+        "--max-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="cache size bound with LRU eviction (accepts K/M/G suffixes)",
+    )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser, run_options: bool = True) -> None:
     group = parser.add_argument_group("engine options")
     group.add_argument(
         "--executor",
@@ -111,6 +161,9 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--no-cache", action="store_true", help="disable the artifact cache"
     )
+    _add_cache_size_option(group)
+    if not run_options:
+        return
     group.add_argument(
         "--fast", action="store_true", help="reduced test-scale presets"
     )
@@ -364,13 +417,55 @@ _RUN_COMMANDS = {
 
 
 # ----------------------------------------------------------------------
+# serve subcommand
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SweepService, workload_names
+
+    engine = build_engine(args)
+    service = SweepService(
+        engine, host=args.host, port=args.port, max_workers=args.service_workers
+    )
+
+    async def _serve() -> None:
+        host, port = await service.start()
+        print(
+            f"serving sweeps on {host}:{port} "
+            f"(workloads: {', '.join(workload_names())})",
+            flush=True,
+        )
+        print(engine.describe(), flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache subcommands
 # ----------------------------------------------------------------------
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = ArtifactCache(args.cache_dir)
+    cache = ArtifactCache(args.cache_dir, max_bytes=args.max_bytes)
     if args.cache_command == "clear":
         removed = cache.clear()
         print(f"removed {removed} artifacts from {cache.root}")
+    elif args.cache_command == "evict":
+        if args.max_bytes is None:
+            print("error: cache evict requires --max-bytes", file=sys.stderr)
+            return 2
+        removed = cache.evict()
+        print(
+            f"evicted {removed} files from {cache.root}; "
+            f"now {cache.size_bytes() / 1e6:.2f} MB in {len(cache)} artifacts"
+        )
     else:
         print(cache.describe())
     return 0
@@ -412,14 +507,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(run_parser)
 
-    cache_parser = subparsers.add_parser("cache", help="inspect / clear the artifact cache")
-    cache_parser.add_argument("cache_command", choices=("info", "clear"))
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve sweep requests to many clients (repro.service)",
+        description=(
+            "Long-lived sweep service: accepts DSE / PVT / characterisation "
+            "requests from concurrent clients over newline-delimited JSON, "
+            "single-flights identical in-flight requests and streams per-job "
+            "progress events back to every client."
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=7463, help="TCP port (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=4,
+        help="worker threads running blocking sweeps (distinct sweeps in flight)",
+    )
+    _add_engine_options(serve_parser, run_options=False)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect / clear / LRU-evict the artifact cache"
+    )
+    cache_parser.add_argument("cache_command", choices=("info", "clear", "evict"))
     cache_parser.add_argument(
         "--cache-dir",
         type=pathlib.Path,
         default=None,
         help=f"artifact cache root (default: {default_cache_dir()})",
     )
+    _add_cache_size_option(cache_parser)
     return parser
 
 
@@ -430,6 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _RUN_COMMANDS[args.workload](args)
     except EngineOptionError as error:
         # Bad engine options (e.g. --workers 0) surface as a clean CLI

@@ -169,21 +169,35 @@ class BatchExecutor:
         return results
 
 
-_EXECUTOR_FACTORIES = {
-    "serial": lambda **kwargs: SerialExecutor(),
-    "parallel": lambda **kwargs: ParallelExecutor(
-        max_workers=kwargs.get("max_workers"), chunksize=kwargs.get("chunksize")
-    ),
-    "batch": lambda **kwargs: BatchExecutor(batch_size=kwargs.get("batch_size") or 8),
+_EXECUTOR_SPECS = {
+    "serial": (SerialExecutor, frozenset()),
+    "parallel": (ParallelExecutor, frozenset({"max_workers", "chunksize"})),
+    "batch": (BatchExecutor, frozenset({"batch_size"})),
 }
 
 
 def make_executor(name: str, **kwargs: Any):
-    """Build an executor by CLI name (``serial`` / ``parallel`` / ``batch``)."""
+    """Build an executor by CLI name (``serial`` / ``parallel`` / ``batch``).
+
+    ``None``-valued options mean "not set" (so CLI defaults can always be
+    forwarded), but an option the chosen executor does not understand is a
+    hard error: ``make_executor("serial", max_workers=8)`` raises instead of
+    silently ignoring the flag, and invalid values (``batch_size=0``,
+    ``max_workers=0``) propagate the constructor's ``ValueError`` instead of
+    being coerced to a default.
+    """
     try:
-        factory = _EXECUTOR_FACTORIES[name]
+        factory, accepted = _EXECUTOR_SPECS[name]
     except KeyError:
         raise ValueError(
-            f"unknown executor {name!r}; choose from {sorted(_EXECUTOR_FACTORIES)}"
+            f"unknown executor {name!r}; choose from {sorted(_EXECUTOR_SPECS)}"
         ) from None
-    return factory(**kwargs)
+    options = {key: value for key, value in kwargs.items() if value is not None}
+    rejected = sorted(set(options) - accepted)
+    if rejected:
+        accepts = ", ".join(sorted(accepted)) if accepted else "no options"
+        raise ValueError(
+            f"executor {name!r} does not accept {', '.join(rejected)} "
+            f"(it accepts {accepts})"
+        )
+    return factory(**options)

@@ -85,7 +85,14 @@ def _canonical(value: Any) -> Any:
         ]
         return ["dataclass", type(value).__name__, fields]
     if isinstance(value, dict):
-        items = sorted((str(key), _canonical(item)) for key, item in value.items())
+        # Keys are canonicalised like any other value (NOT stringified):
+        # ``{1: x}`` and ``{"1": x}`` are distinct inputs and must not
+        # collide in the fingerprint.  Mixed key types sort by their JSON
+        # canonical form, which is deterministic across processes.
+        items = sorted(
+            ([_canonical(key), _canonical(item)] for key, item in value.items()),
+            key=lambda pair: json.dumps(pair[0], sort_keys=True, separators=(",", ":")),
+        )
         return ["dict", items]
     if isinstance(value, (list, tuple)):
         return ["seq", [_canonical(item) for item in value]]

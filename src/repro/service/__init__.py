@@ -1,0 +1,74 @@
+"""repro.service — asyncio serving front-end on top of the sweep engine.
+
+Where :mod:`repro.runtime` turned every paper workload into deterministic,
+cache-addressed sweep jobs behind one :class:`~repro.runtime.SweepEngine`,
+this package turns that engine into a *long-lived multi-client system*: a
+TCP service that accepts sweep requests (DSE corner grids, PVT/Monte-Carlo
+batches, characterisation plans) from many concurrent clients, runs them on
+worker threads so the event loop stays responsive, deduplicates identical
+in-flight requests (single-flight) on top of the engine's artifact cache,
+and streams per-job progress events back to every interested client.
+
+Layout::
+
+    protocol.py   newline-delimited-JSON framing + message constructors
+    progress.py   thread-safe progress fan-out (engine callback -> asyncio)
+    workloads.py  registry of servable workloads (dse / characterize / ...)
+    server.py     SweepService: asyncio.start_server + single-flight
+    client.py     ServiceClient (async) + run_sweep (sync convenience)
+
+Server side (or just ``python -m repro serve --port 7463``)::
+
+    import asyncio
+    from repro.runtime import ArtifactCache, SweepEngine
+    from repro.service import SweepService
+
+    async def main():
+        engine = SweepEngine(cache=ArtifactCache(max_bytes=2_000_000_000))
+        service = SweepService(engine, host="0.0.0.0", port=7463)
+        await service.serve_forever()
+
+    asyncio.run(main())
+
+Client side::
+
+    from repro.service import run_sweep
+
+    result = run_sweep("127.0.0.1", 7463, "dse", {"fast": True},
+                       on_progress=lambda d, t, label: print(d, "/", t, label))
+    print(result.payload["selected"])      # Table I corner rows
+    print(result.deduplicated)             # True when single-flighted
+
+Concurrent identical requests execute once: the engine's stats (visible via
+``ServiceClient.status()`` or ``python -m repro cache info`` on the shared
+cache) show a single execution however many clients asked.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceError, SweepResult, run_sweep
+from repro.service.protocol import MAX_MESSAGE_BYTES, PROTOCOL_VERSION, ProtocolError
+from repro.service.server import SweepService
+from repro.service.workloads import (
+    WorkloadFn,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_names,
+)
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "SweepResult",
+    "SweepService",
+    "WorkloadFn",
+    "get_workload",
+    "register_workload",
+    "run_sweep",
+    "unregister_workload",
+    "workload_names",
+]

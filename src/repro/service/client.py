@@ -1,0 +1,188 @@
+"""Client side of the sweep service protocol.
+
+:class:`ServiceClient` is the asyncio client (one TCP connection, one
+request at a time, progress callbacks as events arrive); :func:`run_sweep`
+is the synchronous one-call convenience for scripts and examples::
+
+    from repro.service import run_sweep
+
+    result = run_sweep("127.0.0.1", 7463, "dse", {"fast": True},
+                       on_progress=lambda done, total, label: ...)
+    print(result.payload["selected"])
+
+Async use::
+
+    async with ServiceClient("127.0.0.1", 7463) as client:
+        result = await client.submit("dse", {"fast": True})
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.executors import ProgressCallback
+from repro.service import protocol
+
+
+class ServiceError(RuntimeError):
+    """The server answered a request with a terminal ``error`` event."""
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Outcome of one submit: payload plus how the request was served."""
+
+    payload: Any
+    key: str
+    deduplicated: bool
+    elapsed_seconds: float
+    progress_events: int
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.SweepService`.
+
+    The client is deliberately sequential: one outstanding request per
+    connection (open several clients for concurrency — connections are
+    cheap, and the server single-flights identical sweeps anyway).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._request_ids = itertools.count(1)
+        self._busy = False
+
+    async def connect(self) -> "ServiceClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_MESSAGE_BYTES
+            )
+        return self
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            writer, self._writer, self._reader = self._writer, None, None
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one non-streaming request and return its single reply."""
+        reader, writer = self._require_connection()
+        writer.write(protocol.encode_message(message))
+        await writer.drain()
+        reply = await protocol.read_message(reader)
+        if reply is None:
+            raise ConnectionError("server closed the connection")
+        if reply.get("event") == "error":
+            raise ServiceError(str(reply.get("error")))
+        return reply
+
+    async def ping(self) -> bool:
+        """Liveness probe; ``True`` when the server answers ``pong``."""
+        reply = await self._roundtrip(protocol.ping_request(self._next_id()))
+        return reply.get("event") == "pong"
+
+    async def status(self) -> Dict[str, Any]:
+        """Server status document (engine / cache stats, workloads, ...)."""
+        return await self._roundtrip(protocol.status_request(self._next_id()))
+
+    async def submit(
+        self,
+        workload: str,
+        params: Optional[Dict[str, Any]] = None,
+        on_progress: Optional[ProgressCallback] = None,
+    ) -> SweepResult:
+        """Run ``workload`` on the server, streaming progress along the way.
+
+        ``on_progress`` receives ``(done, total, label)`` for every progress
+        event.  Raises :class:`ServiceError` when the server reports a
+        terminal error for this request.
+        """
+        if self._busy:
+            raise RuntimeError("one request at a time per ServiceClient connection")
+        reader, writer = self._require_connection()
+        request_id = self._next_id()
+        self._busy = True
+        try:
+            writer.write(protocol.encode_message(protocol.submit_request(request_id, workload, params)))
+            await writer.drain()
+            key = ""
+            deduplicated = False
+            progress_events = 0
+            while True:
+                message = await protocol.read_message(reader)
+                if message is None:
+                    raise ConnectionError("server closed the connection mid-request")
+                if message.get("id") != request_id:
+                    continue  # stale event from an aborted earlier request
+                event = message.get("event")
+                if event == "accepted":
+                    key = str(message.get("key", ""))
+                    deduplicated = bool(message.get("deduplicated", False))
+                elif event == "progress":
+                    progress_events += 1
+                    if on_progress is not None:
+                        on_progress(
+                            int(message.get("done", 0)),
+                            int(message.get("total", 0)),
+                            str(message.get("label", "")),
+                        )
+                elif event == "result":
+                    return SweepResult(
+                        payload=message.get("payload"),
+                        key=key,
+                        deduplicated=deduplicated,
+                        elapsed_seconds=float(message.get("elapsed_seconds", 0.0)),
+                        progress_events=progress_events,
+                    )
+                elif event == "error":
+                    raise ServiceError(str(message.get("error")))
+        finally:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        return f"req-{next(self._request_ids)}"
+
+    def _require_connection(self) -> tuple:
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client is not connected; call connect() first")
+        return self._reader, self._writer
+
+
+def run_sweep(
+    host: str,
+    port: int,
+    workload: str,
+    params: Optional[Dict[str, Any]] = None,
+    on_progress: Optional[ProgressCallback] = None,
+    timeout: Optional[float] = None,
+) -> SweepResult:
+    """Synchronous one-shot submit for scripts: connect, run, disconnect."""
+
+    async def _run() -> SweepResult:
+        async with ServiceClient(host, port) as client:
+            return await client.submit(workload, params, on_progress=on_progress)
+
+    coro: Any = _run()
+    if timeout is not None:
+        coro = asyncio.wait_for(coro, timeout)
+    return asyncio.run(coro)

@@ -1,0 +1,130 @@
+"""Wire protocol of the sweep service: newline-delimited JSON over TCP.
+
+One message per line, UTF-8 JSON objects, ``\\n`` terminated — trivially
+debuggable with ``nc`` and language-agnostic on the client side.
+
+Client → server messages carry an ``op``:
+
+``{"op": "submit", "id": <str>, "workload": <name>, "params": {...}}``
+    Run a sweep workload.  ``id`` is a client-chosen request id echoed on
+    every event the server emits for this request.
+``{"op": "status", "id": <str>}``
+    Engine / cache / in-flight statistics.
+``{"op": "ping", "id": <str>}``
+    Liveness probe.
+
+Server → client messages carry an ``event`` and the originating ``id``:
+
+``accepted``   — submit validated; ``key`` is the request fingerprint and
+                 ``deduplicated`` tells whether the request piggybacks on
+                 an identical in-flight sweep (single-flight).
+``progress``   — one engine progress tick: ``done`` / ``total`` / ``label``.
+``result``     — terminal success; ``payload`` is the workload's return
+                 value, ``elapsed_seconds`` the server-side wall time.
+``error``      — terminal failure (or protocol-level complaint when ``id``
+                 is null).
+``pong`` / ``status`` — replies to the matching ops.
+
+The protocol is intentionally schema-light: :func:`read_message` enforces
+only framing (line length, valid JSON, top-level object); per-op field
+validation lives with the server, which answers violations with ``error``
+events instead of dropping the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+#: Hard bound on one framed message.  Generous enough for corner tables
+#: (the fast DSE payload is ~10 kB), small enough to stop a rogue peer
+#: from ballooning server memory.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+#: Bumped on incompatible wire changes; the server reports it in ``status``.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A peer violated the framing rules (oversized line, bad JSON, ...)."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form (JSON + newline)."""
+    data = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(data) + 1 > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the {MAX_MESSAGE_BYTES} byte limit"
+        )
+    return data + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line back into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"message is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean end-of-stream.
+
+    The caller must have opened the stream with ``limit=MAX_MESSAGE_BYTES``
+    (both :class:`repro.service.server.SweepService` and
+    :class:`repro.service.client.ServiceClient` do), so an oversized line
+    surfaces here as a :class:`ProtocolError` rather than unbounded
+    buffering.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-message") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"message exceeds the {MAX_MESSAGE_BYTES} byte limit"
+        ) from None
+    return decode_message(line)
+
+
+# ----------------------------------------------------------------------
+# Message constructors (shared by server and client so field names can
+# never drift apart)
+# ----------------------------------------------------------------------
+def submit_request(request_id: str, workload: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {"op": "submit", "id": request_id, "workload": workload, "params": dict(params or {})}
+
+
+def status_request(request_id: str) -> Dict[str, Any]:
+    return {"op": "status", "id": request_id}
+
+
+def ping_request(request_id: str) -> Dict[str, Any]:
+    return {"op": "ping", "id": request_id}
+
+
+def accepted_event(request_id: str, key: str, deduplicated: bool) -> Dict[str, Any]:
+    return {"event": "accepted", "id": request_id, "key": key, "deduplicated": deduplicated}
+
+
+def progress_event(request_id: str, done: int, total: int, label: str) -> Dict[str, Any]:
+    return {"event": "progress", "id": request_id, "done": done, "total": total, "label": label}
+
+
+def result_event(request_id: str, payload: Any, elapsed_seconds: float) -> Dict[str, Any]:
+    return {
+        "event": "result",
+        "id": request_id,
+        "payload": payload,
+        "elapsed_seconds": elapsed_seconds,
+    }
+
+
+def error_event(request_id: Optional[str], message: str) -> Dict[str, Any]:
+    return {"event": "error", "id": request_id, "error": message}

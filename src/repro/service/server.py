@@ -1,0 +1,356 @@
+"""The asyncio sweep service: one engine, one cache, many clients.
+
+:class:`SweepService` is the long-lived front door on top of
+:class:`repro.runtime.SweepEngine`.  It accepts newline-delimited-JSON
+requests over TCP (:mod:`repro.service.protocol`), runs the requested
+workload (:mod:`repro.service.workloads`) on a worker thread via
+``loop.run_in_executor`` — the event loop never blocks on a sweep — and
+streams per-job progress events back to every client that asked for it
+(:mod:`repro.service.progress`).
+
+Two layers of work deduplication compose:
+
+* **single-flight** — identical requests (same workload + params, compared
+  by :func:`repro.runtime.fingerprint`) that overlap in time share one
+  execution; late joiners subscribe to the same progress stream and
+  receive the same result.
+* **artifact cache** — the engine's content-addressed cache serves repeat
+  (non-overlapping) requests without re-running the solver, exactly as in
+  batch mode.
+
+Every flight runs against a shallow copy of the shared engine whose
+``progress`` callback is that flight's broadcaster; executor, cache and the
+stats counters are shared, so ``status`` reports fleet-wide totals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.runtime import ArtifactCache, SweepEngine, fingerprint
+from repro.service import progress as progress_mod
+from repro.service import protocol
+from repro.service.workloads import WorkloadFn, get_workload, workload_names
+
+
+class _Connection:
+    """One client link with writes serialised behind an asyncio lock."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.closed = False
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, message: Dict[str, Any]) -> bool:
+        """Write one message; returns ``False`` once the peer is gone."""
+        if self.closed:
+            return False
+        data = protocol.encode_message(message)
+        async with self._send_lock:
+            if self.closed:
+                return False
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                self.closed = True
+                return False
+        return True
+
+    async def close(self) -> None:
+        self.closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@dataclasses.dataclass
+class _Flight:
+    """One in-flight sweep shared by every identical concurrent request."""
+
+    key: str
+    broadcaster: progress_mod.ProgressBroadcaster
+    task: "asyncio.Task"
+    subscribers: int = 0
+
+
+class SweepService:
+    """Serve sweep requests from many concurrent clients over TCP.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`~repro.runtime.SweepEngine`; defaults to a
+        serial engine with an :class:`~repro.runtime.ArtifactCache` at the
+        default location.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`
+        after :meth:`start`).
+    max_workers:
+        Worker threads running blocking sweeps; this bounds how many
+        *distinct* sweeps make progress concurrently (identical ones
+        single-flight onto one thread).
+    """
+
+    def __init__(
+        self,
+        engine: Optional[SweepEngine] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 4,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.engine = engine if engine is not None else SweepEngine(cache=ArtifactCache())
+        self._host = host
+        self._port = port
+        self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="sweep")
+        self._flights: Dict[str, _Flight] = {}
+        self._connections: Set[_Connection] = set()
+        self._handler_tasks: Set["asyncio.Task"] = set()
+        self._request_tasks: Set["asyncio.Task"] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound; valid after :meth:`start`."""
+        return self._host, self._port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=protocol.MAX_MESSAGE_BYTES,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled or :meth:`stop`-ped."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            if not self._stopping:
+                raise
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain flights, close clients.
+
+        In-flight sweeps run to completion (their artifacts land in the
+        cache and their waiters receive results) — blocking work on a
+        thread cannot be cancelled mid-solve anyway.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._flights:
+            await asyncio.gather(
+                *(flight.task for flight in list(self._flights.values())),
+                return_exceptions=True,
+            )
+        # Let in-flight request handlers deliver their terminal result /
+        # error events before their connections are torn down.
+        while self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks), return_exceptions=True)
+        for connection in list(self._connections):
+            await connection.close()
+        if self._handler_tasks:
+            await asyncio.gather(*list(self._handler_tasks), return_exceptions=True)
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+        requests: Set["asyncio.Task"] = set()
+        try:
+            while True:
+                try:
+                    message = await protocol.read_message(reader)
+                except protocol.ProtocolError as error:
+                    # Framing is broken; the stream cannot be re-synchronised.
+                    await connection.send(protocol.error_event(None, str(error)))
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if message is None:
+                    break
+                request = asyncio.create_task(self._dispatch(connection, message))
+                requests.add(request)
+                self._request_tasks.add(request)
+                request.add_done_callback(requests.discard)
+                request.add_done_callback(self._request_tasks.discard)
+        finally:
+            if requests:
+                await asyncio.gather(*list(requests), return_exceptions=True)
+            self._connections.discard(connection)
+            await connection.close()
+            if task is not None:
+                self._handler_tasks.discard(task)
+
+    async def _dispatch(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        request_id = message.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            await connection.send(protocol.error_event(None, "request id must be a string"))
+            return
+        op = message.get("op")
+        if op == "ping":
+            await connection.send({"event": "pong", "id": request_id})
+        elif op == "status":
+            await connection.send(self._status_event(request_id))
+        elif op == "submit":
+            await self._handle_submit(connection, message, request_id)
+        else:
+            await connection.send(
+                protocol.error_event(request_id, f"unknown op {op!r} (ping/status/submit)")
+            )
+
+    def _status_event(self, request_id: Optional[str]) -> Dict[str, Any]:
+        import repro
+
+        cache = self.engine.cache
+        return {
+            "event": "status",
+            "id": request_id,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": repro.__version__,
+            "engine": self.engine.describe(),
+            "engine_stats": dataclasses.asdict(self.engine.stats),
+            "cache_stats": dataclasses.asdict(cache.stats) if cache is not None else None,
+            "workloads": workload_names(),
+            "in_flight": len(self._flights),
+            "connections": len(self._connections),
+        }
+
+    # ------------------------------------------------------------------
+    # Submit / single-flight
+    # ------------------------------------------------------------------
+    async def _handle_submit(
+        self, connection: _Connection, message: Dict[str, Any], request_id: Optional[str]
+    ) -> None:
+        if not isinstance(request_id, str):
+            await connection.send(protocol.error_event(None, "submit requires a string id"))
+            return
+        workload_name = message.get("workload")
+        params = message.get("params", {})
+        if not isinstance(workload_name, str):
+            await connection.send(protocol.error_event(request_id, "submit requires a workload name"))
+            return
+        if not isinstance(params, dict):
+            await connection.send(protocol.error_event(request_id, "params must be a JSON object"))
+            return
+        try:
+            workload_fn = get_workload(workload_name)
+        except KeyError as error:
+            await connection.send(protocol.error_event(request_id, str(error)))
+            return
+
+        key = fingerprint("service-submit", workload_name, params)
+        flight, deduplicated = self._get_or_create_flight(key, workload_fn, params)
+        flight.subscribers += 1
+        queue = flight.broadcaster.subscribe()
+        try:
+            await connection.send(protocol.accepted_event(request_id, key, deduplicated))
+            while True:
+                item = await queue.get()
+                if item is progress_mod.CLOSED:
+                    break
+                await connection.send(
+                    protocol.progress_event(
+                        request_id, item["done"], item["total"], item["label"]
+                    )
+                )
+            try:
+                payload, elapsed = await asyncio.shield(flight.task)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # workload failure -> terminal error event
+                await connection.send(
+                    protocol.error_event(request_id, f"{type(error).__name__}: {error}")
+                )
+                return
+            try:
+                await connection.send(protocol.result_event(request_id, payload, elapsed))
+            except (TypeError, ValueError) as error:
+                # A payload json cannot encode (or that overflows the frame
+                # limit) must still terminate the request with an event —
+                # a silent death here would hang the client forever.
+                await connection.send(
+                    protocol.error_event(
+                        request_id, f"result payload not serialisable: {error}"
+                    )
+                )
+        finally:
+            flight.broadcaster.unsubscribe(queue)
+            flight.subscribers -= 1
+
+    def _get_or_create_flight(
+        self, key: str, workload_fn: WorkloadFn, params: Dict[str, Any]
+    ) -> Tuple[_Flight, bool]:
+        flight = self._flights.get(key)
+        if flight is not None:
+            return flight, True
+        assert self._loop is not None, "service not started"
+        broadcaster = progress_mod.ProgressBroadcaster(self._loop)
+        # Per-flight engine view: shared executor / cache / stats, private
+        # progress sink, so concurrent sweeps cannot cross their streams.
+        engine_view = copy.copy(self.engine)
+        engine_view.progress = broadcaster.callback
+        task = asyncio.ensure_future(
+            self._run_flight(key, workload_fn, params, engine_view, broadcaster)
+        )
+        # A flight whose every waiter disconnected must not warn about an
+        # unretrieved exception; the failure is also visible in `status`.
+        task.add_done_callback(
+            lambda t: t.exception() if not t.cancelled() else None
+        )
+        flight = _Flight(key=key, broadcaster=broadcaster, task=task)
+        self._flights[key] = flight
+        return flight, False
+
+    async def _run_flight(
+        self,
+        key: str,
+        workload_fn: WorkloadFn,
+        params: Dict[str, Any],
+        engine_view: SweepEngine,
+        broadcaster: progress_mod.ProgressBroadcaster,
+    ) -> Tuple[Any, float]:
+        assert self._loop is not None
+        start = time.perf_counter()
+        try:
+            payload = await self._loop.run_in_executor(
+                self._pool, lambda: workload_fn(params, engine_view)
+            )
+            return payload, time.perf_counter() - start
+        finally:
+            self._flights.pop(key, None)
+            broadcaster.close()

@@ -1,0 +1,161 @@
+"""Sweep workloads the service can run, keyed by wire-protocol name.
+
+A workload is a plain function ``fn(params, engine) -> payload``:
+
+* ``params`` — the (already JSON-decoded) ``params`` object of the submit
+  request;
+* ``engine`` — a :class:`repro.runtime.SweepEngine` view whose ``progress``
+  callback streams ticks back to every subscribed client; workloads route
+  all heavy lifting through it so caching, executor choice and progress
+  reporting come for free;
+* return value — any JSON-serialisable object; it becomes the ``payload``
+  of the terminal ``result`` event.
+
+Workload functions run on a worker thread (the service wraps them in
+``loop.run_in_executor``), so they may block; they must not touch the event
+loop.  The built-ins mirror the ``python -m repro run`` subcommands'
+``--json`` payloads, so a service client and a batch CLI run produce
+comparable documents.
+
+The registry is open: tests and downstream deployments add workloads with
+:func:`register_workload` (used as a decorator or called directly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime import SweepEngine
+
+WorkloadFn = Callable[[Dict[str, Any], SweepEngine], Any]
+
+_WORKLOADS: Dict[str, WorkloadFn] = {}
+
+
+def register_workload(name: str, fn: Optional[WorkloadFn] = None):
+    """Register ``fn`` under ``name``; usable as ``@register_workload("x")``."""
+
+    def _register(workload: WorkloadFn) -> WorkloadFn:
+        _WORKLOADS[name] = workload
+        return workload
+
+    if fn is not None:
+        return _register(fn)
+    return _register
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a workload (primarily for test isolation)."""
+    _WORKLOADS.pop(name, None)
+
+
+def get_workload(name: str) -> WorkloadFn:
+    """Look up a workload; raises ``KeyError`` with the known names."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(workload_names())}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """Sorted names of every registered workload."""
+    return sorted(_WORKLOADS)
+
+
+# ----------------------------------------------------------------------
+# Built-in paper workloads (imports deferred so the service layer stays
+# importable without pulling the whole modelling stack upfront)
+# ----------------------------------------------------------------------
+@register_workload("dse")
+def run_dse(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
+    """48-corner design-space exploration; ``{"fast": true}`` for the quick grid."""
+    from repro.analysis.design_space import corner_summary_rows, run_design_space_exploration
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.calibration import calibrated_suite
+    from repro.core.characterization import CharacterizationPlan
+    from repro.core.dse import DesignSpace
+
+    fast = bool(params.get("fast", False))
+    technology = tsmc65_like()
+    plan = CharacterizationPlan.quick() if fast else None
+    space = DesignSpace.quick() if fast else None
+    suite = calibrated_suite(technology, plan=plan, engine=engine).suite
+    result = run_design_space_exploration(technology, suite=suite, space=space, engine=engine)
+    return {
+        "command": "dse",
+        "fast": fast,
+        "corner_count": len(result.points),
+        "corners": result.table(),
+        "selected": corner_summary_rows(result),
+    }
+
+
+@register_workload("characterize")
+def run_characterize(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
+    """Reference characterisation sweeps; ``{"fast": true}`` for the quick plan."""
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.characterization import CharacterizationPlan, characterize
+
+    fast = bool(params.get("fast", False))
+    technology = tsmc65_like()
+    plan = CharacterizationPlan.quick() if fast else CharacterizationPlan()
+    data = characterize(technology, plan, engine=engine)
+    return {
+        "command": "characterize",
+        "fast": fast,
+        "records": {
+            "base": len(data.base),
+            "supply": len(data.supply),
+            "temperature": len(data.temperature),
+            "mismatch": len(data.mismatch),
+            "write_energy": len(data.write_energy),
+            "discharge_energy": len(data.discharge_energy),
+        },
+        "total_records": data.record_count(),
+    }
+
+
+def _montecarlo_job(samples: int, seed: int) -> Dict[str, Any]:
+    """Module-level job body (picklable for the process-pool executor)."""
+    from repro.analysis.pvt_sweeps import mismatch_monte_carlo
+    from repro.circuits.technology import tsmc65_like
+
+    return mismatch_monte_carlo(tsmc65_like(), samples=samples, seed=seed)
+
+
+@register_workload("montecarlo")
+def run_montecarlo(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
+    """Fig. 5d Monte-Carlo mismatch spread; ``samples`` / ``seed`` params.
+
+    The panel is one vectorised solver call, so it rides the engine as a
+    single cacheable job: repeat requests are artifact-cache hits and the
+    (single) progress tick still streams to subscribed clients.
+    """
+    from repro.circuits.technology import tsmc65_like
+    from repro.runtime import Artifact, Job, job_key
+
+    samples = int(params.get("samples", 200))
+    seed = int(params.get("seed", 2024))
+    if samples < 1:
+        raise ValueError("samples must be at least 1")
+    job = Job(
+        fn=_montecarlo_job,
+        args=(samples, seed),
+        name=f"montecarlo[{samples}]",
+        key=job_key("service-montecarlo", tsmc65_like(), samples, seed),
+        encode=lambda result: Artifact(arrays=dict(result)),
+        decode=lambda artifact: dict(artifact.arrays),
+    )
+    result = engine.run_one(job)
+    sigmas = {
+        f"{float(t) * 1e9:.1f}ns": float(s)
+        for t, s in zip(result["sampling_times"], result["sigma_at_sampling_times"])
+    }
+    return {
+        "command": "montecarlo",
+        "samples": samples,
+        "seed": seed,
+        "sigma_v_blb": sigmas,
+    }

@@ -32,6 +32,7 @@ class TestExamples:
             "design_space_exploration.py",
             "dnn_inference.py",
             "pvt_robustness.py",
+            "service_clients.py",
         } <= names
 
     def test_quickstart_runs(self, capsys):
@@ -51,3 +52,11 @@ class TestExamples:
     def test_dnn_example_is_importable(self):
         module = _load_example("dnn_inference.py")
         assert hasattr(module, "main")
+
+    def test_service_clients_example_runs(self, capsys):
+        module = _load_example("service_clients.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "deduplicated=True" in output, "single-flight must kick in"
+        assert "0 jobs executed" in output, "warm run must be all cache hits"
+        assert "LRU eviction" in output

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import time
 
 import numpy as np
 import pytest
@@ -223,3 +224,157 @@ class TestCharacterizationCaching:
         characterize(technology, plan, solver=solver, engine=SweepEngine(cache=cache))
         assert len(cache) == 0
         assert cache.stats.writes == 0
+
+
+class TestFingerprintKeyTypes:
+    def test_dict_key_type_collision_regression(self):
+        """`{1: x}` and `{"1": x}` are distinct inputs and must not share a
+        fingerprint (previously dict keys were stringified)."""
+        assert fingerprint({1: "x"}) != fingerprint({"1": "x"})
+        assert fingerprint({True: "x"}) != fingerprint({1: "x"})
+        assert fingerprint({1.0: "x"}) != fingerprint({1: "x"})
+        assert fingerprint({None: "x"}) != fingerprint({"None": "x"})
+
+    def test_dict_key_order_still_canonical(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({2: "x", 10: "y"}) == fingerprint({10: "y", 2: "x"})
+
+    def test_mixed_key_types_are_stable(self):
+        mixed = {1: "a", "1": "b", 2.5: "c"}
+        assert fingerprint(mixed) == fingerprint(dict(reversed(list(mixed.items()))))
+
+
+class TestStrayTmpFiles:
+    def _plant_stale_tmp(self, cache, age_seconds=7200.0, size=2048):
+        shard = cache.root / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        tmp = shard / "crashed-put.npz.tmp"
+        tmp.write_bytes(b"\0" * size)
+        stale = time.time() - age_seconds
+        os.utime(tmp, (stale, stale))
+        return tmp
+
+    def test_size_bytes_counts_stray_tmp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(job_key("tmp-sweep", 0), Artifact(arrays={"x": np.arange(4.0)}))
+        clean_size = cache.size_bytes()
+        tmp = self._plant_stale_tmp(cache)
+        assert cache.size_bytes() == clean_size + tmp.stat().st_size
+
+    def test_clear_sweeps_stray_tmp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(job_key("tmp-sweep", 1), Artifact(arrays={"x": np.arange(4.0)}))
+        tmp = self._plant_stale_tmp(cache)
+        assert cache.clear() == 2, "artifact + stray tmp file"
+        assert not tmp.exists()
+        assert cache.size_bytes() == 0
+
+    def test_evict_sweeps_stale_tmp_but_not_fresh_ones(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        stale = self._plant_stale_tmp(cache)
+        fresh = cache.root / "ab" / "in-flight.npz.tmp"
+        fresh.write_bytes(b"\0" * 512)  # recent: could be an in-flight put
+        cache.evict(max_bytes=10**9)
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_failed_put_cleans_its_tmp_file(self, tmp_path, monkeypatch):
+        cache = ArtifactCache(tmp_path)
+        monkeypatch.setattr(
+            np, "savez", lambda *a, **k: (_ for _ in ()).throw(OSError("disk full"))
+        )
+        with pytest.raises(OSError):
+            cache.put(job_key("fail-put"), Artifact(arrays={"x": np.arange(2.0)}))
+        assert list(cache.root.glob("*/*.npz.tmp")) == []
+
+
+class TestLruEviction:
+    def _put(self, cache, tag, index, age_seconds):
+        key = job_key(tag, index)
+        path = cache.put(key, Artifact(arrays={"x": np.zeros(256)}))
+        stamp = time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+        return key
+
+    def test_evict_removes_least_recently_used_first(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        oldest = self._put(cache, "lru", 0, age_seconds=300)
+        middle = self._put(cache, "lru", 1, age_seconds=200)
+        newest = self._put(cache, "lru", 2, age_seconds=100)
+        per_artifact = cache.size_bytes() // 3
+        removed = cache.evict(max_bytes=2 * per_artifact)
+        assert removed == 1
+        assert not cache.has(oldest)
+        assert cache.has(middle) and cache.has(newest)
+        assert cache.stats.evictions == 1
+
+    def test_get_bumps_recency(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        touched = self._put(cache, "bump", 0, age_seconds=300)
+        untouched = self._put(cache, "bump", 1, age_seconds=200)
+        assert cache.get(touched) is not None  # refreshes atime+mtime
+        per_artifact = cache.size_bytes() // 2
+        cache.evict(max_bytes=per_artifact)
+        assert cache.has(touched), "a cache hit must protect against eviction"
+        assert not cache.has(untouched)
+
+    def test_put_auto_evicts_over_max_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=1)  # every put overflows
+        first = self._put(cache, "auto", 0, age_seconds=100)
+        second_key = job_key("auto", 1)
+        cache.put(second_key, Artifact(arrays={"x": np.zeros(256)}))
+        assert cache.has(second_key), "the artifact just written must survive"
+        assert not cache.has(first)
+        assert cache.stats.evictions == 1
+
+    def test_max_bytes_enforced_after_put(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=6500)
+        keys = []
+        for index in range(8):
+            keys.append(job_key("bound", index))
+            path = cache.put(keys[-1], Artifact(arrays={"x": np.zeros(256)}))
+            stamp = time.time() - (100 - index)  # strictly increasing recency
+            os.utime(path, (stamp, stamp))
+            assert cache.size_bytes() <= 6500
+        assert cache.has(keys[-1])
+        survivors = set(cache.keys())
+        assert survivors == set(keys[-len(survivors):]), "eviction is LRU-ordered"
+
+    def test_surviving_artifact_still_serves_warm_runs(self, tmp_path):
+        """Eviction of cold artifacts must not invalidate surviving ones."""
+        cache = ArtifactCache(tmp_path)
+        evicted = self._put(cache, "warm", 0, age_seconds=300)
+        survivor = self._put(cache, "warm", 1, age_seconds=100)
+        per_artifact = cache.size_bytes() // 2
+        cache.evict(max_bytes=per_artifact)
+        executions = []
+
+        def producer(value):
+            executions.append(value)
+            return np.zeros(256)
+
+        engine = SweepEngine(cache=cache)
+        job = jobs_module.Job(
+            fn=producer,
+            args=(1,),
+            name="warm",
+            key=survivor,
+            encode=lambda result: Artifact(arrays={"x": result}),
+            decode=lambda artifact: artifact.arrays["x"],
+        )
+        engine.run_one(job)
+        assert executions == [], "surviving artifact must serve the warm run"
+        assert not cache.has(evicted)
+
+    def test_evict_without_limit_raises(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.evict()
+
+    def test_negative_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path, max_bytes=-1)
+
+    def test_describe_reports_limit(self, tmp_path):
+        assert "unbounded" in ArtifactCache(tmp_path).describe()
+        assert "limit" in ArtifactCache(tmp_path, max_bytes=10**6).describe()

@@ -292,3 +292,98 @@ class TestCli:
                 )
                 == 0
             )
+
+
+class TestMakeExecutorValidation:
+    """CLI flags must never be silently ignored or coerced."""
+
+    def test_irrelevant_options_rejected(self):
+        with pytest.raises(ValueError, match="serial"):
+            make_executor("serial", max_workers=8)
+        with pytest.raises(ValueError, match="batch"):
+            make_executor("batch", max_workers=8)
+        with pytest.raises(ValueError, match="parallel"):
+            make_executor("parallel", batch_size=4)
+        with pytest.raises(ValueError, match="typo_option"):
+            make_executor("parallel", typo_option=1)
+
+    def test_none_means_unset_and_is_always_accepted(self):
+        assert isinstance(
+            make_executor("serial", max_workers=None, chunksize=None, batch_size=None),
+            SerialExecutor,
+        )
+        assert make_executor("batch", batch_size=None).batch_size == 8
+
+    def test_invalid_values_propagate_instead_of_coercing(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            make_executor("batch", batch_size=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            make_executor("parallel", max_workers=0)
+        with pytest.raises(ValueError, match="chunksize"):
+            make_executor("parallel", chunksize=0)
+
+
+class TestEngineProgressTotals:
+    """Progress is reported against the true sweep size, cache hits included."""
+
+    @staticmethod
+    def _cacheable_job(value):
+        return Job(
+            fn=_square,
+            args=(value,),
+            name=f"square[{value}]",
+            key=job_key("progress-totals", value),
+            encode=lambda result: Artifact(arrays={"x": np.asarray([result])}),
+            decode=lambda artifact: int(artifact.arrays["x"][0]),
+        )
+
+    def test_fully_cached_sweep_still_reports_progress(self, tmp_path):
+        engine = SweepEngine(cache=ArtifactCache(tmp_path))
+        jobs = [self._cacheable_job(i) for i in range(4)]
+        engine.run(SweepSpec("toy", jobs))
+
+        seen = []
+        engine.run(
+            SweepSpec("toy", [self._cacheable_job(i) for i in range(4)]),
+            progress=lambda d, t, label: seen.append((d, t, label)),
+        )
+        assert [(d, t) for d, t, _ in seen] == [(i + 1, 4) for i in range(4)]
+        assert all("(cached)" in label for _, _, label in seen)
+
+    def test_mixed_sweep_counts_hits_and_executions_against_true_total(self, tmp_path):
+        engine = SweepEngine(cache=ArtifactCache(tmp_path))
+        engine.run(SweepSpec("warmup", [self._cacheable_job(0), self._cacheable_job(2)]))
+
+        seen = []
+        engine.run(
+            SweepSpec("mixed", [self._cacheable_job(i) for i in range(5)]),
+            progress=lambda d, t, label: seen.append((d, t)),
+        )
+        assert all(total == 5 for _, total in seen)
+        dones = [done for done, _ in seen]
+        assert dones == sorted(dones), "progress must be monotone"
+        assert dones[-1] == 5
+        assert len(seen) == 5, "every job (hit or executed) reports one tick"
+
+    def test_engine_default_progress_callback_is_used(self, tmp_path):
+        seen = []
+        engine = SweepEngine(progress=lambda d, t, label: seen.append((d, t)))
+        engine.run(SweepSpec("toy", _toy_jobs(3)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        from repro.runtime.cli import parse_size
+
+        assert parse_size("1234") == 1234
+        assert parse_size("500M") == 500_000_000
+        assert parse_size("1.5k") == 1500
+        assert parse_size("2GB") == 2_000_000_000
+
+    def test_invalid_inputs_raise_value_error(self):
+        from repro.runtime.cli import parse_size
+
+        for bad in ("", "x", "12Q", "inf", "1e999", "nan", "-1"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
