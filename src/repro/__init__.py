@@ -30,15 +30,29 @@ The package is organised in layers, bottom-up:
   JSON, single-flights identical in-flight requests, streams per-job
   progress events, and shares one size-bounded (LRU-evicting) artifact
   cache across all of them.
+* :mod:`repro.cluster` — the distributed worker backend behind the engine
+  (``python -m repro worker`` / ``make_executor("distributed")``): a
+  coordinator that shards content-hashed job chunks across long-lived
+  worker processes (local or on other hosts) with registration,
+  heartbeats, work stealing and retry-on-worker-death — still
+  bit-identical to serial execution, merged in submission order.
+
+Engine, service and cluster form the three-tier execution architecture
+(see README): the engine is the substrate, the service serves many
+clients on top of it, and the cluster plugs in underneath as just another
+executor — so every driver and every service workload gains distributed
+execution without code changes.
 
 The layering rule: :mod:`repro.runtime` is generic infrastructure and
-imports nothing from the modelling layers; the modelling layers submit
-their sweeps *through* it and default to a serial, cache-less engine that
-reproduces the historical inline loops bit-for-bit.  :mod:`repro.service`
-sits above both: it imports the runtime unconditionally and the modelling
-layers only lazily, per workload.
+imports nothing from the modelling layers (the shared NDJSON framing both
+network tiers speak lives in :mod:`repro.wire`); the modelling layers
+submit their sweeps *through* it and default to a serial, cache-less
+engine that reproduces the historical inline loops bit-for-bit.
+:mod:`repro.service` and :mod:`repro.cluster` sit above: they import the
+runtime unconditionally and the modelling layers only lazily, per
+workload.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

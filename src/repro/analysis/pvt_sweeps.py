@@ -18,10 +18,10 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.circuits.conditions import OperatingConditions, celsius_to_kelvin
-from repro.circuits.mismatch import MismatchParameters, MismatchSampler
+from repro.circuits.mismatch import MismatchArrays, MismatchParameters, MismatchSampler
 from repro.circuits.technology import ProcessCorner, TechnologyCard
 from repro.circuits.transient import TransientSolver
-from repro.runtime import SweepEngine
+from repro.runtime import Artifact, Job, SweepEngine, SweepSpec, job_key
 
 
 def _discharge_trace(
@@ -155,6 +155,139 @@ def mismatch_monte_carlo(
     return {
         "times": result.times,
         "final_voltages": np.atleast_1d(result.final_voltage),
+        "sampling_times": np.asarray(sampling_times, dtype=float),
+        "sigma_at_sampling_times": sigma_at,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sharded Monte-Carlo (cluster-ready fan-out of Fig. 5d)
+# ----------------------------------------------------------------------
+def _mismatch_monte_carlo_shard(
+    technology: TechnologyCard,
+    wordline_voltage: float,
+    duration: float,
+    samples_total: int,
+    seed: int,
+    start: int,
+    stop: int,
+    sampling_times: Sequence[float],
+) -> Dict[str, np.ndarray]:
+    """One contiguous sample range of the Fig. 5d Monte-Carlo panel.
+
+    Every shard redraws the *full* ``samples_total`` mismatch set from the
+    shared seed and slices its ``[start, stop)`` rows, so a sample's offsets
+    are independent of how the panel is sharded.  The transient solver is
+    elementwise across traces (fixed time grid, per-row current tables), so
+    the shard's per-sample voltages are bit-identical to the corresponding
+    rows of an unsharded run — which is what makes the merged panel
+    independent of shard count, executor and dispatch schedule.
+
+    Module-level (and arguments picklable) so process-pool and cluster
+    executors can ship it.
+    """
+    solver = TransientSolver(technology)
+    conditions = OperatingConditions.nominal(technology)
+    sampler = MismatchSampler(MismatchParameters.from_technology(technology), seed=seed)
+    full = sampler.sample_arrays(samples_total)
+    shard = MismatchArrays(
+        vth_access=full.vth_access[start:stop],
+        vth_pulldown=full.vth_pulldown[start:stop],
+        beta_access=full.beta_access[start:stop],
+        beta_pulldown=full.beta_pulldown[start:stop],
+    )
+    result = solver.simulate_discharge(
+        wordline_voltage, duration, conditions, mismatch=shard
+    )
+    voltages_at = np.stack(
+        [np.atleast_1d(result.voltage_at(float(t))) for t in sampling_times]
+    )
+    return {
+        "times": result.times,
+        "final_voltages": np.atleast_1d(result.final_voltage),
+        "voltages_at": voltages_at,
+    }
+
+
+def _shard_encode(result: Dict[str, np.ndarray]) -> Artifact:
+    return Artifact(arrays=dict(result))
+
+
+def _shard_decode(artifact: Artifact) -> Dict[str, np.ndarray]:
+    return dict(artifact.arrays)
+
+
+def mismatch_monte_carlo_sharded(
+    technology: TechnologyCard,
+    wordline_voltage: float = 0.9,
+    duration: float = 2.0e-9,
+    samples: int = 1000,
+    seed: int = 2024,
+    sampling_times: Sequence[float] = (0.5e-9, 1.0e-9, 1.5e-9, 2.0e-9),
+    shards: int = 8,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, np.ndarray]:
+    """Fig. 5d as a sharded sweep: bit-identical to :func:`mismatch_monte_carlo`.
+
+    The sample range is split into ``shards`` contiguous jobs submitted
+    through ``engine`` — this is how the service and the distributed
+    executor spread one large Monte-Carlo batch across cluster workers.
+    Each shard is content-addressed (technology + panel parameters + sample
+    range + code version), so repeat runs are artifact-cache hits resolved
+    engine-side and warm shards never reach a worker.
+
+    The merge concatenates per-sample voltages in sample order and computes
+    the sigma over the merged set, which reproduces the unsharded panel
+    bit-for-bit whatever ``shards`` or the executor (asserted in
+    ``tests/test_cluster.py``).
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    engine = engine or SweepEngine()
+    shards = min(shards, samples)
+    bounds = np.linspace(0, samples, shards + 1, dtype=int)
+    jobs = []
+    for index in range(shards):
+        start, stop = int(bounds[index]), int(bounds[index + 1])
+        jobs.append(
+            Job(
+                fn=_mismatch_monte_carlo_shard,
+                args=(
+                    technology,
+                    float(wordline_voltage),
+                    float(duration),
+                    int(samples),
+                    int(seed),
+                    start,
+                    stop,
+                    tuple(float(t) for t in sampling_times),
+                ),
+                name=f"montecarlo[{start}:{stop}]",
+                key=job_key(
+                    "pvt-montecarlo-shard",
+                    technology,
+                    float(wordline_voltage),
+                    float(duration),
+                    int(samples),
+                    int(seed),
+                    start,
+                    stop,
+                    tuple(float(t) for t in sampling_times),
+                ),
+                encode=_shard_encode,
+                decode=_shard_decode,
+            )
+        )
+    outputs = engine.run(SweepSpec(f"montecarlo[{samples}x{shards}]", jobs))
+    voltages_at = np.concatenate([output["voltages_at"] for output in outputs], axis=1)
+    sigma_at = np.array([float(np.std(row)) for row in voltages_at])
+    return {
+        "times": outputs[0]["times"],
+        "final_voltages": np.concatenate(
+            [output["final_voltages"] for output in outputs]
+        ),
         "sampling_times": np.asarray(sampling_times, dtype=float),
         "sigma_at_sampling_times": sigma_at,
     }

@@ -1,0 +1,659 @@
+"""The cluster coordinator: shard content-hashed jobs across workers.
+
+:class:`Coordinator` is the asyncio server at the heart of the distributed
+executor.  Long-lived :class:`~repro.cluster.worker.Worker` processes
+connect to it over the shared NDJSON framing (:mod:`repro.wire`), register
+with a ``hello`` (checked for protocol *and* code version — a worker running
+different code must never compute shards) and then receive chunks of pickled
+:class:`~repro.runtime.jobs.Job` units.
+
+Scheduling model (the ARTIQ-style long-lived-worker pattern, adapted to
+sweeps):
+
+* every :meth:`run` shards its job list into contiguous chunks, which are
+  dealt round-robin into per-worker queues;
+* each worker holds at most ``slots`` chunks in flight; the scheduler tops
+  it up from its own queue first and otherwise **steals half of the longest
+  queue** in the cluster, so a fast (or late-joining) worker drains the
+  backlog of a slow one;
+* a worker that dies — its connection drops or its heartbeat goes silent —
+  has its queued *and* in-flight chunks reassigned to the survivors, with a
+  bounded retry count so a chunk that kills every worker cannot loop
+  forever;
+* results are merged **by global job index**, so whatever the dispatch
+  schedule, chunk sizing or steal pattern, the returned list is bit-identical
+  to a serial run (the same guarantee every in-process executor gives).
+
+A job that *raises* on a worker is a run failure, not a worker failure: the
+original exception travels back pickled and re-raises at the submitting
+call site, exactly as under the serial executor.
+
+The coordinator never sees the artifact cache: :class:`repro.runtime.SweepEngine`
+resolves cache hits *before* handing jobs to any executor, so warm shards
+never leave the host and only genuine misses cross the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro import wire
+from repro.cluster import protocol
+from repro.runtime.executors import ProgressCallback
+from repro.runtime.jobs import Job, code_version
+
+
+class ClusterError(RuntimeError):
+    """The cluster could not complete a sweep (no workers, retries spent)."""
+
+
+@dataclasses.dataclass
+class WorkerInfo:
+    """Snapshot of one registered worker, as reported by ``status``."""
+
+    id: str
+    name: str
+    pid: int
+    slots: int
+    alive: bool
+    connected_at: float
+    last_seen: float
+    queued_chunks: int
+    inflight_chunks: int
+    chunks_done: int
+    jobs_done: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class _Run:
+    """One :meth:`Coordinator.run` call: results, progress, completion."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, jobs: Sequence[Job], progress: Optional[ProgressCallback]):
+        self.id = f"run-{next(self._ids)}"
+        self.total = len(jobs)
+        self.results: List[Any] = [None] * len(jobs)
+        self.remaining = len(jobs)
+        self.progress = progress
+        self.future: "asyncio.Future[List[Any]]" = asyncio.get_running_loop().create_future()
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+    def fail(self, error: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(error)
+
+    def complete_chunk(self, chunk: "_Chunk", results: List[Any], label: str) -> None:
+        if self.done:
+            return
+        for index, value in zip(chunk.indices, results):
+            self.results[index] = value
+        self.remaining -= len(chunk.indices)
+        if self.progress is not None:
+            self.progress(self.total - self.remaining, self.total, label)
+        if self.remaining == 0:
+            self.future.set_result(self.results)
+
+
+class _Chunk:
+    """A contiguous slice of one run's jobs, dispatched as a unit."""
+
+    def __init__(self, run: _Run, chunk_id: str, jobs: List[Job], indices: List[int]):
+        self.run = run
+        self.id = chunk_id
+        self.jobs = jobs
+        self.indices = indices
+        self.attempts = 0
+
+
+class _WorkerLink:
+    """Coordinator-side state of one connected worker."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        name: str,
+        pid: int,
+        slots: int,
+        writer: asyncio.StreamWriter,
+    ):
+        self.id = worker_id
+        self.name = name
+        self.pid = pid
+        self.slots = max(1, slots)
+        self.writer = writer
+        self.alive = True
+        self.connected_at = time.time()
+        self.last_seen = time.time()
+        self.queue: Deque[_Chunk] = deque()
+        self.inflight: Dict[str, _Chunk] = {}
+        self.chunks_done = 0
+        self.jobs_done = 0
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, message: Dict[str, Any]) -> bool:
+        """Write one message; ``False`` once the peer is gone."""
+        return await self.send_bytes(wire.encode_message(message))
+
+    async def send_bytes(self, data: bytes) -> bool:
+        """Write one pre-encoded frame; ``False`` once the peer is gone."""
+        if not self.alive:
+            return False
+        async with self._send_lock:
+            if not self.alive:
+                return False
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                return False
+        return True
+
+    def info(self) -> WorkerInfo:
+        return WorkerInfo(
+            id=self.id,
+            name=self.name,
+            pid=self.pid,
+            slots=self.slots,
+            alive=self.alive,
+            connected_at=self.connected_at,
+            last_seen=self.last_seen,
+            queued_chunks=len(self.queue),
+            inflight_chunks=len(self.inflight),
+            chunks_done=self.chunks_done,
+            jobs_done=self.jobs_done,
+        )
+
+
+class Coordinator:
+    """Shard sweeps across long-lived worker processes over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address of the cluster endpoint; ``port=0`` picks a free port
+        (see :attr:`address` after :meth:`start`).  Workers *and* control
+        clients (``python -m repro cluster status``) connect here.
+    heartbeat_interval:
+        Interval workers are told to beacon at.
+    heartbeat_timeout:
+        Silence threshold after which a worker is declared dead and its
+        chunks are reassigned.
+    max_chunk_retries:
+        How many times one chunk may be reassigned after worker deaths
+        before the run fails (guards against a poison chunk that crashes
+        every worker it lands on).
+    worker_wait_timeout:
+        How long dispatched work may sit orphaned with *no* connected
+        worker before the owning runs fail (covers workers that never
+        start, e.g. a typo'd ``--connect`` address).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 5.0,
+        max_chunk_retries: int = 3,
+        worker_wait_timeout: float = 30.0,
+    ):
+        if heartbeat_interval <= 0 or heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval/timeout must be positive")
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        self._host = host
+        self._port = port
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_chunk_retries = max_chunk_retries
+        self.worker_wait_timeout = worker_wait_timeout
+        self._links: Dict[str, _WorkerLink] = {}
+        self._orphans: Deque[_Chunk] = deque()
+        self._orphaned_since: Optional[float] = None
+        self._runs: Dict[str, _Run] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: List["asyncio.Task"] = []
+        self._kick = asyncio.Event()
+        self._worker_ids = itertools.count(1)
+        self._chunk_ids = itertools.count(1)
+        self._code_version = code_version()
+        self._stopping = False
+        self.stats: Dict[str, int] = {
+            "runs": 0,
+            "chunks_dispatched": 0,
+            "chunks_completed": 0,
+            "chunks_stolen": 0,
+            "chunks_retried": 0,
+            "jobs_done": 0,
+            "workers_lost": 0,
+            "duplicate_results": 0,
+            "scheduler_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound; valid after :meth:`start`."""
+        return self._host, self._port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the cluster endpoint; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=wire.MAX_MESSAGE_BYTES,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._tasks.append(asyncio.ensure_future(self._scheduler_loop()))
+        self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
+        return self.address
+
+    async def stop(self) -> None:
+        """Shut down: tell workers to exit, fail pending runs, close up."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for link in list(self._links.values()):
+            if link.alive:
+                await link.send(protocol.shutdown_event())
+                link.alive = False
+                try:
+                    link.writer.close()
+                except (ConnectionError, OSError):
+                    pass
+        for run in list(self._runs.values()):
+            run.fail(ClusterError("coordinator stopped"))
+        self._runs.clear()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Submitting work
+    # ------------------------------------------------------------------
+    def worker_count(self) -> int:
+        """Number of currently alive, registered workers."""
+        return sum(1 for link in self._links.values() if link.alive)
+
+    def total_slots(self) -> int:
+        """Aggregate chunk slots across alive workers."""
+        return sum(link.slots for link in self._links.values() if link.alive)
+
+    async def run(
+        self,
+        jobs: Sequence[Job],
+        chunksize: int,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        """Execute ``jobs`` across the cluster; results in submission order.
+
+        ``progress`` fires on the coordinator's event loop as chunks
+        complete, reporting ``(jobs done, jobs total, last job label)`` —
+        callers bridging to other threads must pass a thread-safe callback
+        (the distributed executor and the service broadcaster both do).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        chunksize = max(1, int(chunksize))
+        run = _Run(jobs, progress)
+        self._runs[run.id] = run
+        self.stats["runs"] += 1
+        chunks = [
+            _Chunk(
+                run,
+                f"{run.id}/c{next(self._chunk_ids)}",
+                jobs[start : start + chunksize],
+                list(range(start, min(start + chunksize, len(jobs)))),
+            )
+            for start in range(0, len(jobs), chunksize)
+        ]
+        self._distribute(chunks)
+        self._kick.set()
+        try:
+            return await run.future
+        finally:
+            self._runs.pop(run.id, None)
+            self._drop_run_chunks(run)
+
+    # ------------------------------------------------------------------
+    # Scheduling: per-worker queues + work stealing
+    # ------------------------------------------------------------------
+    def _alive_links(self) -> List[_WorkerLink]:
+        return [link for link in self._links.values() if link.alive]
+
+    def _distribute(self, chunks: Sequence[_Chunk]) -> None:
+        """Deal chunks round-robin into the shortest worker queues."""
+        links = self._alive_links()
+        if not links:
+            self._orphans.extend(chunks)
+            if self._orphans and self._orphaned_since is None:
+                self._orphaned_since = time.time()
+            return
+        for chunk in chunks:
+            target = min(links, key=lambda link: len(link.queue) + len(link.inflight))
+            target.queue.append(chunk)
+
+    def _steal_for(self, thief: _WorkerLink) -> Optional[_Chunk]:
+        """Steal half the longest queue in the cluster for an idle worker."""
+        if self._orphans:
+            self._orphaned_since = None
+            return self._orphans.popleft()
+        victim = max(
+            (link for link in self._alive_links() if link is not thief and link.queue),
+            key=lambda link: len(link.queue),
+            default=None,
+        )
+        if victim is None:
+            return None
+        # Move the *tail* half of the victim's backlog: the victim keeps the
+        # chunks it would reach next, the thief takes the far end.
+        take = max(1, len(victim.queue) // 2)
+        stolen = [victim.queue.pop() for _ in range(take)]
+        self.stats["chunks_stolen"] += len(stolen)
+        first, rest = stolen[0], stolen[1:]
+        thief.queue.extend(reversed(rest))
+        return first
+
+    def _next_chunk(self, link: _WorkerLink) -> Optional[_Chunk]:
+        while True:
+            if link.queue:
+                chunk = link.queue.popleft()
+            else:
+                chunk = self._steal_for(link)
+            if chunk is None:
+                return None
+            if chunk.run.done:
+                continue  # run already failed/finished; drop silently
+            return chunk
+
+    async def _pump(self, link: _WorkerLink) -> None:
+        """Top the worker up to its slot count with dispatchable chunks."""
+        while link.alive and len(link.inflight) < link.slots:
+            chunk = self._next_chunk(link)
+            if chunk is None:
+                return
+            try:
+                frame = wire.encode_message(protocol.chunk_event(chunk.id, chunk.jobs))
+            except Exception as error:
+                # Undispatchable chunk (unpicklable job, frame over the
+                # limit): that is the *sweep's* failure, not the worker's —
+                # fail the run and keep the scheduler alive.
+                chunk.run.fail(
+                    ClusterError(
+                        f"cannot dispatch chunk {chunk.id}: {error} "
+                        "(unpicklable job or chunk too large for one frame)"
+                    )
+                )
+                continue
+            link.inflight[chunk.id] = chunk
+            self.stats["chunks_dispatched"] += 1
+            if not await link.send_bytes(frame):
+                self._on_worker_death(link)
+                return
+
+    async def _scheduler_loop(self) -> None:
+        while True:
+            await self._kick.wait()
+            self._kick.clear()
+            try:
+                for link in self._alive_links():
+                    await self._pump(link)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A scheduling bug must degrade to a retry on the next kick,
+                # never to a dead scheduler silently freezing every run.
+                self.stats["scheduler_errors"] += 1
+                self._kick.set()
+                await asyncio.sleep(self.heartbeat_interval)
+
+    async def _reaper_loop(self) -> None:
+        """Declare silent workers dead; time out permanently orphaned work."""
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            now = time.time()
+            for link in self._alive_links():
+                if now - link.last_seen > self.heartbeat_timeout:
+                    try:
+                        link.writer.close()
+                    except (ConnectionError, OSError):
+                        pass
+                    self._on_worker_death(link)
+            if (
+                self._orphans
+                and not self._alive_links()
+                and self._orphaned_since is not None
+                and now - self._orphaned_since > self.worker_wait_timeout
+            ):
+                failed = {chunk.run for chunk in self._orphans}
+                self._orphans.clear()
+                self._orphaned_since = None
+                for run in failed:
+                    run.fail(
+                        ClusterError(
+                            "no workers joined within "
+                            f"{self.worker_wait_timeout:.0f} s; sweep abandoned"
+                        )
+                    )
+
+    def _on_worker_death(self, link: _WorkerLink) -> None:
+        """Reassign a dead worker's queued and in-flight chunks."""
+        if not link.alive:
+            return
+        link.alive = False
+        self.stats["workers_lost"] += 1
+        stranded = list(link.inflight.values()) + list(link.queue)
+        link.inflight.clear()
+        link.queue.clear()
+        reassign: List[_Chunk] = []
+        for chunk in stranded:
+            if chunk.run.done:
+                continue
+            chunk.attempts += 1
+            if chunk.attempts > self.max_chunk_retries:
+                chunk.run.fail(
+                    ClusterError(
+                        f"chunk {chunk.id} lost {chunk.attempts} workers "
+                        f"(retry limit {self.max_chunk_retries}); sweep abandoned"
+                    )
+                )
+                continue
+            self.stats["chunks_retried"] += 1
+            reassign.append(chunk)
+        if reassign:
+            self._distribute(reassign)
+        self._kick.set()
+
+    def _drop_run_chunks(self, run: _Run) -> None:
+        """Purge a finished/failed run's chunks from every queue."""
+        self._orphans = deque(chunk for chunk in self._orphans if chunk.run is not run)
+        if not self._orphans:
+            self._orphaned_since = None
+        for link in self._links.values():
+            link.queue = deque(chunk for chunk in link.queue if chunk.run is not run)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        link: Optional[_WorkerLink] = None
+        try:
+            while True:
+                try:
+                    message = await wire.read_message(reader)
+                except wire.ProtocolError as error:
+                    await self._send_raw(writer, protocol.error_event(str(error)))
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if message is None:
+                    break
+                op = message.get("op")
+                if link is None and op == "hello":
+                    link = await self._handle_hello(message, writer)
+                    if link is None:
+                        break
+                elif op == "heartbeat":
+                    if link is not None:
+                        link.last_seen = time.time()
+                elif op == "chunk_done" and link is not None:
+                    link.last_seen = time.time()
+                    self._handle_chunk_done(link, message)
+                elif op == "chunk_failed" and link is not None:
+                    link.last_seen = time.time()
+                    self._handle_chunk_failed(link, message)
+                elif op == "status":
+                    await self._send_raw(writer, self.status_event(message.get("id")))
+                elif op == "ping":
+                    await self._send_raw(writer, {"event": "pong", "id": message.get("id")})
+                else:
+                    await self._send_raw(
+                        writer, protocol.error_event(f"unexpected op {op!r}")
+                    )
+        finally:
+            if link is not None:
+                self._on_worker_death(link)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _send_raw(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        try:
+            writer.write(wire.encode_message(message))
+            await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+
+    async def _handle_hello(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> Optional[_WorkerLink]:
+        if message.get("protocol") != protocol.CLUSTER_PROTOCOL_VERSION:
+            await self._send_raw(
+                writer,
+                protocol.error_event(
+                    f"cluster protocol mismatch: coordinator speaks "
+                    f"{protocol.CLUSTER_PROTOCOL_VERSION}, worker {message.get('protocol')!r}"
+                ),
+            )
+            return None
+        worker_version = message.get("code_version")
+        if worker_version != self._code_version:
+            # Mixed-version clusters would silently break bit-identical
+            # results (and the content-addressed cache keys): refuse.
+            await self._send_raw(
+                writer,
+                protocol.error_event(
+                    f"code version mismatch: coordinator {self._code_version}, "
+                    f"worker {worker_version}"
+                ),
+            )
+            return None
+        worker_id = f"w{next(self._worker_ids)}"
+        link = _WorkerLink(
+            worker_id,
+            name=str(message.get("name", worker_id)),
+            pid=int(message.get("pid", 0)),
+            slots=int(message.get("slots", 1)),
+            writer=writer,
+        )
+        self._links[worker_id] = link
+        await link.send(protocol.welcome_event(worker_id, self.heartbeat_interval))
+        self._kick.set()  # a fresh worker immediately steals backlog
+        return link
+
+    def _handle_chunk_done(self, link: _WorkerLink, message: Dict[str, Any]) -> None:
+        chunk = link.inflight.pop(str(message.get("chunk")), None)
+        if chunk is None:
+            # Completion for a chunk this worker no longer owns (it was
+            # presumed dead and the chunk reassigned).  Results are
+            # deterministic, so dropping the duplicate is safe.
+            self.stats["duplicate_results"] += 1
+            return
+        try:
+            results = protocol.unpack_results(str(message.get("results", "")))
+        except Exception as error:
+            chunk.run.fail(ClusterError(f"undecodable results for {chunk.id}: {error}"))
+            return
+        if len(results) != len(chunk.jobs):
+            chunk.run.fail(
+                ClusterError(
+                    f"chunk {chunk.id} returned {len(results)} results "
+                    f"for {len(chunk.jobs)} jobs"
+                )
+            )
+            return
+        link.chunks_done += 1
+        link.jobs_done += len(results)
+        self.stats["chunks_completed"] += 1
+        self.stats["jobs_done"] += len(results)
+        chunk.run.complete_chunk(chunk, results, chunk.jobs[-1].name)
+        self._kick.set()
+
+    def _handle_chunk_failed(self, link: _WorkerLink, message: Dict[str, Any]) -> None:
+        chunk = link.inflight.pop(str(message.get("chunk")), None)
+        if chunk is None:
+            self.stats["duplicate_results"] += 1
+            return
+        error = protocol.unpack_exception(
+            message.get("exception"), str(message.get("error", "job failed on worker"))
+        )
+        chunk.run.fail(error)
+        self._kick.set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status_event(self, request_id: Any = None) -> Dict[str, Any]:
+        """The ``status`` reply document (also used by ``cluster status``)."""
+        import repro
+
+        return {
+            "event": "status",
+            "id": request_id,
+            "protocol": protocol.CLUSTER_PROTOCOL_VERSION,
+            "version": repro.__version__,
+            "code_version": self._code_version,
+            "address": list(self.address),
+            "workers": [link.info().to_dict() for link in self._links.values()],
+            "alive_workers": self.worker_count(),
+            "total_slots": self.total_slots(),
+            "runs_in_flight": len(self._runs),
+            "orphaned_chunks": len(self._orphans),
+            "stats": dict(self.stats),
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_timeout": self.heartbeat_timeout,
+        }
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        host, port = self.address
+        return (
+            f"Coordinator[{host}:{port}] — {self.worker_count()} workers, "
+            f"{self.stats['jobs_done']} jobs done, "
+            f"{self.stats['chunks_stolen']} chunks stolen, "
+            f"{self.stats['chunks_retried']} retried"
+        )

@@ -1,0 +1,326 @@
+"""`DistributedExecutor` — the cluster as a drop-in sweep executor.
+
+Registers as ``make_executor("distributed", workers=..., connect=...)`` so
+every driver that routes work through :class:`repro.runtime.SweepEngine`
+(characterisation, DSE, PVT / Monte-Carlo, the analysis drivers, the
+service workloads) gains cluster execution without touching its code.
+
+The executor owns the cluster endpoint: a :class:`~repro.cluster.coordinator.Coordinator`
+running on a dedicated event-loop thread inside the submitting process.
+``workers=N`` spawns N local single-slot worker subprocesses
+(``python -m repro worker``); ``connect="HOST:PORT"`` binds the endpoint
+on a routable address so *additional* workers on other hosts can join the
+same sweeps (``python -m repro worker --connect HOST:PORT``).  The two
+compose — a laptop can spawn four local workers and accept twenty more
+from the lab machines.
+
+Guarantees, matching every other executor in the registry:
+
+* **bit-identical results** — jobs are deterministic work units, results
+  are merged by submission index, so distributed == parallel == serial
+  bit-for-bit;
+* **cache locality** — the engine resolves artifact-cache hits *before*
+  the executor runs, so warm shards never cross the wire;
+* **graceful degradation** — a host where sockets or subprocesses are
+  unavailable (sandboxes, restricted CI) falls back to serial execution,
+  the same stance :class:`~repro.runtime.executors.ParallelExecutor`
+  takes when its process pool cannot start;
+* **fault tolerance** — killed workers have their chunks reassigned and
+  retried (see the coordinator); a *job* exception still propagates to the
+  submitting call site unchanged.
+
+The event-loop thread and the worker subprocesses start lazily on the
+first :meth:`execute` and are torn down by :meth:`close` (also wired to
+``atexit``; workers additionally exit on coordinator end-of-stream, so no
+orphan processes survive a crashed submitter).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import os
+import subprocess
+import sys
+import threading
+import time
+import warnings
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.cluster.coordinator import ClusterError, Coordinator
+from repro.cluster.worker import parse_address
+from repro.runtime.executors import ProgressCallback, SerialExecutor
+from repro.runtime.jobs import Job
+
+
+def _worker_environment() -> dict:
+    """Environment for spawned workers: inherit, plus the submitter's
+    ``sys.path`` so every module whose functions ride in pickled jobs is
+    importable on the worker side (the same guarantee ``multiprocessing``'s
+    spawn start method provides)."""
+    env = dict(os.environ)
+    entries = [entry for entry in sys.path if entry]
+    env["PYTHONPATH"] = os.pathsep.join(entries)
+    return env
+
+
+class DistributedExecutor:
+    """Run sweeps across long-lived worker processes, local or remote.
+
+    Parameters
+    ----------
+    workers:
+        Local worker subprocesses to spawn (default: the host CPU count).
+        ``workers=0`` spawns none and relies entirely on external workers
+        joining via ``connect``.
+    connect:
+        ``"HOST:PORT"`` bind address of the cluster endpoint (default
+        loopback with an ephemeral port).  External workers join with
+        ``python -m repro worker --connect HOST:PORT``.
+    chunksize:
+        Jobs per dispatched chunk.  The default splits a sweep into about
+        four chunks per worker slot — small enough for work stealing and
+        death-retry to matter, large enough to amortise the pickle+frame
+        overhead.
+    min_workers:
+        How many registered workers :meth:`execute` waits for before
+        dispatching (default: the spawned count, or 1 when only external
+        workers are expected).
+    heartbeat_interval, heartbeat_timeout:
+        Liveness beacon cadence and the silence threshold after which a
+        worker is declared dead.
+    start_timeout:
+        Budget for the cluster to come up (bind + worker registration).
+        On expiry with zero workers the executor degrades to serial.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        connect: Optional[str] = None,
+        chunksize: Optional[int] = None,
+        min_workers: Optional[int] = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 5.0,
+        start_timeout: float = 30.0,
+    ):
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
+        if min_workers is not None and min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if connect is not None:
+            parse_address(connect)  # validate eagerly: CLI errors beat hangs
+        self.workers = (os.cpu_count() or 1) if workers is None else workers
+        if self.workers == 0 and connect is None:
+            raise ValueError("workers=0 needs connect= so external workers can join")
+        self.connect = connect
+        self.chunksize = chunksize
+        self.min_workers = min_workers if min_workers is not None else max(1, self.workers)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.start_timeout = start_timeout
+        self.coordinator: Optional[Coordinator] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._processes: List[subprocess.Popen] = []
+        self._fallback: Optional[SerialExecutor] = None
+        self._started = False
+        self._lock = threading.Lock()
+        self._atexit_registered = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """Bound ``(host, port)`` of the cluster endpoint once started."""
+        if self.coordinator is None:
+            return None
+        return self.coordinator.address
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the locally spawned worker subprocesses (for tests/ops)."""
+        return [process.pid for process in self._processes]
+
+    def start(self) -> "DistributedExecutor":
+        """Start the cluster (idempotent); degrades to serial on failure.
+
+        The degradation mirrors :class:`~repro.runtime.executors.ParallelExecutor`
+        (sweeps still complete on hosts without sockets / subprocesses) but
+        is *audibly* reported via :mod:`warnings`, so a broken cluster can
+        never masquerade as a working one in CI logs.
+        """
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._fallback = None  # a restart gets a fresh chance
+            try:
+                self._start_locked()
+            except Exception as error:
+                self._teardown_locked()
+                self._fallback = SerialExecutor()
+                warnings.warn(
+                    f"distributed executor unavailable ({type(error).__name__}: "
+                    f"{error}); falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return self
+
+    def _start_locked(self) -> None:
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, name="cluster-loop", daemon=True)
+        thread.start()
+        self._loop = loop
+        self._loop_thread = thread
+        host, port = ("127.0.0.1", 0) if self.connect is None else parse_address(self.connect)
+        coordinator = Coordinator(
+            host=host,
+            port=port,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+        asyncio.run_coroutine_threadsafe(coordinator.start(), loop).result(self.start_timeout)
+        self.coordinator = coordinator
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+        bound_host, bound_port = coordinator.address
+        for index in range(self.workers):
+            self._processes.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{bound_host}:{bound_port}",
+                        "--name",
+                        f"local-{index}",
+                        "--connect-timeout",
+                        str(self.start_timeout),
+                    ],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                    env=_worker_environment(),
+                )
+            )
+        self._await_workers()
+
+    def _await_workers(self) -> None:
+        """Block until ``min_workers`` registered (capped by start_timeout)."""
+        assert self.coordinator is not None
+        wanted = self.min_workers
+        deadline = time.monotonic() + self.start_timeout
+        while time.monotonic() < deadline:
+            alive = self.coordinator.worker_count()
+            if alive >= wanted:
+                return
+            # Spawned workers that died at startup can never register.
+            spawned_alive = sum(1 for p in self._processes if p.poll() is None)
+            if self.workers and spawned_alive == 0 and alive == 0:
+                break
+            time.sleep(0.02)
+        if self.coordinator.worker_count() == 0:
+            raise ClusterError("no workers registered within the start timeout")
+
+    def close(self) -> None:
+        """Stop the coordinator, terminate spawned workers, join the loop."""
+        with self._lock:
+            self._teardown_locked()
+            self._started = False
+
+    def _teardown_locked(self) -> None:
+        if self.coordinator is not None and self._loop is not None:
+            try:
+                asyncio.run_coroutine_threadsafe(self.coordinator.stop(), self._loop).result(10)
+            except Exception:
+                pass
+        for process in self._processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self._processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5)
+        self._processes.clear()
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=5)
+            if not self._loop.is_running():
+                self._loop.close()
+        self.coordinator = None
+        self._loop = None
+        self._loop_thread = None
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _default_chunksize(self, job_count: int) -> int:
+        slots = self.coordinator.total_slots() if self.coordinator is not None else 1
+        return max(1, job_count // (4 * max(1, slots)))
+
+    def execute(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback] = None,
+        batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+    ) -> List[Any]:
+        """Run ``jobs`` across the cluster; results in submission order.
+
+        Like the process-pool executor, single-job sweeps run inline (no
+        wire round-trip can pay for itself) and ``batch_fn`` is ignored —
+        vectorised batching is an in-process strategy.
+        """
+        if len(jobs) <= 1:
+            return SerialExecutor().execute(jobs, progress)
+        if not self._started:
+            self.start()
+        if self._fallback is not None:
+            return self._fallback.execute(jobs, progress)
+        assert self.coordinator is not None and self._loop is not None
+        chunksize = self.chunksize or self._default_chunksize(len(jobs))
+        future = asyncio.run_coroutine_threadsafe(
+            self.coordinator.run(jobs, chunksize, progress=progress), self._loop
+        )
+        return future.result()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """Cluster status document (see :meth:`Coordinator.status_event`)."""
+        if self._fallback is not None:
+            return {"event": "status", "fallback": "serial", "workers": []}
+        if self.coordinator is None or self._loop is None:
+            return {"event": "status", "started": False, "workers": []}
+        return asyncio.run_coroutine_threadsafe(
+            self._status_async(), self._loop
+        ).result(10)
+
+    async def _status_async(self) -> dict:
+        assert self.coordinator is not None
+        return self.coordinator.status_event()
+
+    def describe(self) -> str:
+        if self._fallback is not None:
+            return "DistributedExecutor[fallback=serial]"
+        if self.coordinator is None:
+            return f"DistributedExecutor[{self.workers} workers, not started]"
+        return self.coordinator.describe()

@@ -1,0 +1,173 @@
+"""Wire protocol of the distributed executor: coordinator <-> workers.
+
+Messages ride the shared newline-delimited-JSON framing of
+:mod:`repro.wire` (one JSON object per line, 8 MB frame guard) over plain
+TCP, the same substrate the sweep service speaks.  Two kinds of peers talk
+to a :class:`~repro.cluster.coordinator.Coordinator`:
+
+**Workers** (``python -m repro worker --connect HOST:PORT``):
+
+``{"op": "hello", "name": ..., "pid": ..., "slots": N,
+   "protocol": 1, "code_version": ...}``
+    Registration.  The coordinator answers ``welcome`` (assigning the
+    worker id and the heartbeat interval) or ``error`` (protocol or code
+    version mismatch — a worker running different code must never compute
+    shards, the results would not be bit-identical).
+``{"op": "heartbeat", "worker": <id>}``
+    Periodic liveness beacon; a worker silent for longer than the
+    coordinator's heartbeat timeout is declared dead and its chunks are
+    reassigned.
+``{"op": "chunk_done", "chunk": <id>, "results": <blob>}``
+    One finished chunk; ``results`` is the pickled result list
+    (:func:`pack_results`).
+``{"op": "chunk_failed", "chunk": <id>, "error": ..., "exception": <blob>}``
+    A job *raised* on the worker (distinct from the worker dying).  The
+    coordinator fails the whole sweep with the unpickled exception, exactly
+    as the serial executor would have propagated it.
+
+**Control clients** (``python -m repro cluster status``):
+
+``{"op": "status", "id": ...}``
+    Answered with a ``status`` event: workers, queue depths, dispatch /
+    steal / retry counters.
+``{"op": "ping", "id": ...}``
+    Answered with ``pong``.
+
+Coordinator -> worker events:
+
+``welcome``   — registration accepted; carries ``worker`` (assigned id) and
+                ``heartbeat_seconds``.
+``chunk``     — one chunk of jobs to run: ``chunk`` (id) plus ``jobs``
+                (:func:`pack_jobs` blob).
+``shutdown``  — drain and exit; also implied by end-of-stream.
+
+Job chunks and results cross the wire as base64-wrapped pickles inside the
+JSON frame.  That keeps the framing uniform (and debuggable) while letting
+arbitrary job arguments — technology cards, multiplier objects, NumPy
+seeds — travel to the workers.  Pickle implies *trusted peers only*: the
+coordinator binds loopback by default, and deployments that spread workers
+across hosts are expected to run inside one trust domain (the same stance
+``multiprocessing`` takes).  Cache codecs (``encode`` / ``decode``) are
+stripped before pickling: artifact caching is resolved coordinator-side
+(see :class:`repro.runtime.SweepEngine`), so workers only ever see cache
+misses and lambda codecs never break job transport.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import pickle
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.jobs import Job
+
+#: Bumped on incompatible cluster-wire changes; checked during ``hello``.
+CLUSTER_PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Pickle transport helpers
+# ----------------------------------------------------------------------
+def _pack(payload: Any) -> str:
+    return base64.b64encode(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def _unpack(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+def pack_jobs(jobs: Sequence[Job]) -> str:
+    """Serialise a chunk of jobs for the wire.
+
+    Cache codecs are stripped (workers never touch the artifact cache), so
+    jobs whose ``encode`` / ``decode`` are closures or lambdas — legal for
+    every in-process executor — remain transportable.  ``fn`` itself must
+    be a module-level callable, the same constraint the process-pool
+    executor imposes.
+    """
+    stripped = [dataclasses.replace(job, key=None, encode=None, decode=None) for job in jobs]
+    return _pack(stripped)
+
+
+def unpack_jobs(blob: str) -> List[Job]:
+    """Deserialise a :func:`pack_jobs` chunk."""
+    return list(_unpack(blob))
+
+
+def pack_results(results: Sequence[Any]) -> str:
+    """Serialise a chunk's result list for the wire."""
+    return _pack(list(results))
+
+
+def unpack_results(blob: str) -> List[Any]:
+    """Deserialise a :func:`pack_results` list."""
+    return list(_unpack(blob))
+
+
+def pack_exception(error: BaseException) -> str:
+    """Serialise a job exception (best effort — falls back to the repr)."""
+    try:
+        return _pack(error)
+    except Exception:
+        return _pack(RuntimeError(f"{type(error).__name__}: {error}"))
+
+
+def unpack_exception(blob: Optional[str], message: str) -> BaseException:
+    """Recover a job exception; a transport failure degrades to RuntimeError."""
+    if blob:
+        try:
+            recovered = _unpack(blob)
+            if isinstance(recovered, BaseException):
+                return recovered
+        except Exception:
+            pass
+    return RuntimeError(message)
+
+
+# ----------------------------------------------------------------------
+# Message constructors (shared by coordinator and worker so field names
+# can never drift apart)
+# ----------------------------------------------------------------------
+def hello_request(name: str, pid: int, slots: int, code_version: str) -> Dict[str, Any]:
+    return {
+        "op": "hello",
+        "name": name,
+        "pid": pid,
+        "slots": slots,
+        "protocol": CLUSTER_PROTOCOL_VERSION,
+        "code_version": code_version,
+    }
+
+
+def welcome_event(worker_id: str, heartbeat_seconds: float) -> Dict[str, Any]:
+    return {"event": "welcome", "worker": worker_id, "heartbeat_seconds": heartbeat_seconds}
+
+
+def heartbeat_request(worker_id: str) -> Dict[str, Any]:
+    return {"op": "heartbeat", "worker": worker_id}
+
+
+def chunk_event(chunk_id: str, jobs: Sequence[Job]) -> Dict[str, Any]:
+    return {"event": "chunk", "chunk": chunk_id, "jobs": pack_jobs(jobs)}
+
+
+def chunk_done_request(chunk_id: str, results: Sequence[Any]) -> Dict[str, Any]:
+    return {"op": "chunk_done", "chunk": chunk_id, "results": pack_results(results)}
+
+
+def chunk_failed_request(chunk_id: str, error: BaseException) -> Dict[str, Any]:
+    return {
+        "op": "chunk_failed",
+        "chunk": chunk_id,
+        "error": f"{type(error).__name__}: {error}",
+        "exception": pack_exception(error),
+    }
+
+
+def shutdown_event() -> Dict[str, Any]:
+    return {"event": "shutdown"}
+
+
+def error_event(message: str) -> Dict[str, Any]:
+    return {"event": "error", "error": message}

@@ -1,0 +1,220 @@
+"""Long-lived cluster worker: ``python -m repro worker --connect HOST:PORT``.
+
+A :class:`Worker` opens one TCP connection to the coordinator (retrying
+with backoff while the coordinator is still binding — workers and
+coordinator usually start together), registers with a ``hello`` carrying
+its pid, slot count and code version, and then loops:
+
+* ``chunk`` events are unpacked into :class:`~repro.runtime.jobs.Job`
+  lists and executed on a thread pool sized to the worker's ``slots``
+  (one chunk per slot in flight; the coordinator never over-commits);
+* results go back as one ``chunk_done`` per chunk, pickled;
+* a job that raises reports ``chunk_failed`` with the pickled exception —
+  the *worker survives* and keeps serving other chunks, the *sweep* fails
+  at the submitting call site exactly as it would under the serial
+  executor;
+* heartbeats are sent at the interval the coordinator's ``welcome``
+  announced, so a wedged or killed worker is detected and its chunks are
+  reassigned;
+* a ``shutdown`` event — or plain end-of-stream when the coordinator goes
+  away — terminates the worker.  Workers therefore never outlive their
+  coordinator as orphan processes.
+
+Workers are processes, not threads, so a pool of single-slot workers gives
+the same CPU-level parallelism as the process-pool executor while being
+free to live on other hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro import wire
+from repro.cluster import protocol
+from repro.runtime.jobs import code_version
+
+
+class WorkerError(RuntimeError):
+    """The worker could not register with (or talk to) the coordinator."""
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` endpoint string."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"invalid address {text!r} (expected HOST:PORT)")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in address {text!r}") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"port {port} out of range in address {text!r}")
+    return host, port
+
+
+class Worker:
+    """One worker process serving chunks from a coordinator.
+
+    Parameters
+    ----------
+    host, port:
+        Coordinator endpoint.
+    slots:
+        Chunks this worker runs concurrently (thread pool size).  The
+        default of 1 makes a *pool of worker processes* the unit of
+        parallelism, matching the process-pool executor's model.
+    name:
+        Display name reported in ``cluster status``; defaults to
+        ``<hostname>-<pid>``.
+    connect_timeout:
+        Retry-with-backoff budget while the coordinator is still binding.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        slots: int = 1,
+        name: Optional[str] = None,
+        connect_timeout: float = 10.0,
+    ):
+        if slots < 1:
+            raise ValueError("slots must be at least 1")
+        self.host = host
+        self.port = port
+        self.slots = slots
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.connect_timeout = connect_timeout
+        self.worker_id: Optional[str] = None
+        self.chunks_done = 0
+
+    async def run(self) -> None:
+        """Serve until the coordinator shuts us down or disappears."""
+        reader, writer = await wire.open_connection(
+            self.host, self.port, timeout=self.connect_timeout
+        )
+        pool = ThreadPoolExecutor(max_workers=self.slots, thread_name_prefix="chunk")
+        send_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        heartbeat_task: Optional["asyncio.Task"] = None
+        chunk_tasks: set = set()
+
+        async def send(message: Dict[str, Any]) -> None:
+            async with send_lock:
+                writer.write(wire.encode_message(message))
+                await writer.drain()
+
+        try:
+            await send(
+                protocol.hello_request(self.name, os.getpid(), self.slots, code_version())
+            )
+            welcome = await wire.read_message(reader)
+            if welcome is None:
+                raise WorkerError("coordinator closed the connection during hello")
+            if welcome.get("event") == "error":
+                raise WorkerError(f"registration rejected: {welcome.get('error')}")
+            if welcome.get("event") != "welcome":
+                raise WorkerError(f"unexpected registration reply: {welcome}")
+            self.worker_id = str(welcome.get("worker"))
+            interval = float(welcome.get("heartbeat_seconds", 1.0))
+
+            async def heartbeat_loop() -> None:
+                while True:
+                    await asyncio.sleep(interval)
+                    await send(protocol.heartbeat_request(self.worker_id or ""))
+
+            async def run_chunk(chunk_id: str, blob: str) -> None:
+                try:
+                    jobs = protocol.unpack_jobs(blob)
+                    results = await loop.run_in_executor(
+                        pool, lambda: [job.run() for job in jobs]
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as error:  # job failure -> sweep failure
+                    await send(protocol.chunk_failed_request(chunk_id, error))
+                    return
+                try:
+                    reply = wire.encode_message(
+                        protocol.chunk_done_request(chunk_id, results)
+                    )
+                except wire.ProtocolError as error:
+                    # Results too large for one frame: the sweep must fail
+                    # with a diagnosis, never hang waiting on this chunk.
+                    await send(
+                        protocol.chunk_failed_request(
+                            chunk_id,
+                            RuntimeError(
+                                f"chunk {chunk_id} results exceed the frame "
+                                f"limit ({error}); use a smaller chunksize"
+                            ),
+                        )
+                    )
+                    return
+                async with send_lock:
+                    writer.write(reply)
+                    await writer.drain()
+                self.chunks_done += 1
+
+            def reap_chunk_task(task: "asyncio.Task") -> None:
+                chunk_tasks.discard(task)
+                if not task.cancelled():
+                    task.exception()  # a failed send is fatal via the read loop
+
+            heartbeat_task = asyncio.ensure_future(heartbeat_loop())
+            while True:
+                message = await wire.read_message(reader)
+                if message is None or message.get("event") == "shutdown":
+                    break
+                if message.get("event") == "chunk":
+                    task = asyncio.ensure_future(
+                        run_chunk(str(message.get("chunk")), str(message.get("jobs", "")))
+                    )
+                    chunk_tasks.add(task)
+                    task.add_done_callback(reap_chunk_task)
+                elif message.get("event") == "error":
+                    raise WorkerError(f"coordinator error: {message.get('error')}")
+                # anything else: ignore (forward compatibility)
+        except (ConnectionError, OSError, wire.ProtocolError):
+            # Coordinator went away mid-stream; exit quietly — the
+            # coordinator side reassigns whatever we were running.
+            pass
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            for task in list(chunk_tasks):
+                task.cancel()
+            await asyncio.gather(
+                *([heartbeat_task] if heartbeat_task else []),
+                *chunk_tasks,
+                return_exceptions=True,
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+def run_worker(
+    connect: str,
+    slots: int = 1,
+    name: Optional[str] = None,
+    connect_timeout: float = 10.0,
+) -> int:
+    """Synchronous entry point used by ``python -m repro worker``."""
+    host, port = parse_address(connect)
+    worker = Worker(host, port, slots=slots, name=name, connect_timeout=connect_timeout)
+    try:
+        asyncio.run(worker.run())
+    except (WorkerError, ConnectionError, OSError) as error:
+        print(f"worker error: {error}", flush=True)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    return 0

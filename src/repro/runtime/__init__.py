@@ -7,8 +7,10 @@ evaluations) submits its work to one front door, the :class:`SweepEngine`:
 * workloads are decomposed into deterministic :class:`~repro.runtime.jobs.Job`
   units with stable content hashes (:mod:`repro.runtime.jobs`),
 * execution strategy is pluggable — serial, process-pool parallel with
-  configurable chunking, or vectorised batches (:mod:`repro.runtime.executors`)
-  — and every strategy produces bit-identical results,
+  configurable chunking, vectorised batches (:mod:`repro.runtime.executors`)
+  or the cluster-backed ``distributed`` strategy (:mod:`repro.cluster`,
+  long-lived worker processes on any host) — and every strategy produces
+  bit-identical results,
 * results of cache-enabled jobs are persisted as content-addressed ``.npz``
   artifacts (:mod:`repro.runtime.cache`); ``ArtifactCache(max_bytes=...)``
   additionally LRU-evicts cold artifacts so the cache stays size-bounded,

@@ -8,7 +8,9 @@ runs through the :class:`repro.runtime.SweepEngine`::
     python -m repro run characterize # reference characterisation sweeps
     python -m repro run tables       # DNN accuracy tables (Table II protocol)
     python -m repro serve            # long-lived sweep service (repro.service)
-    python -m repro cache info       # artifact-cache statistics
+    python -m repro worker           # long-lived cluster worker (repro.cluster)
+    python -m repro cluster status   # live coordinator / worker statistics
+    python -m repro cache info       # artifact-cache statistics (--json for tools)
     python -m repro cache clear      # drop every cached artifact
     python -m repro cache evict --max-bytes 500M   # LRU-trim the cache
 
@@ -20,6 +22,13 @@ The engine options apply to every ``run`` subcommand:
   operating points, design-space corners, PVT sensitivity points) out over a
   process pool.  Results are bit-identical to serial execution — jobs are
   deterministic work units and the engine preserves submission order.
+* ``--executor distributed --workers N`` shards the same jobs across N
+  long-lived worker *processes* through the cluster coordinator
+  (:mod:`repro.cluster`) — still bit-identical.  Add ``--connect H:P`` to
+  bind the cluster endpoint on a routable address so additional
+  ``python -m repro worker --connect H:P`` processes (any host) join the
+  pool mid-run; ``python -m repro cluster status --connect H:P`` shows
+  live worker / dispatch / steal / retry statistics.
 * ``--chunksize K`` tunes how many jobs ride in one pool task (default:
   about four chunks per worker), trading scheduling overhead against load
   balance; ``--executor batch --batch-size K`` instead evaluates grouped
@@ -60,15 +69,18 @@ from repro.runtime import ArtifactCache, SweepEngine, default_cache_dir, make_ex
 _SCALE_EPILOG = """\
 running sweeps at scale:
   --executor parallel --workers 8   fan jobs out over a process pool
+  --executor distributed --workers 8  shard over long-lived cluster workers
   --executor batch --batch-size 16  vectorised corner-grid batches
-  --chunksize 4                     jobs per pool task (parallel executor)
+  --chunksize 4                     jobs per pool task / cluster chunk
+  --connect 0.0.0.0:7500            cluster endpoint (external workers join)
   --no-cache / --cache-dir DIR      control the content-addressed artifact cache
   --max-bytes 500M                  LRU-bound the cache (also: cache evict)
   --fast                            reduced test-scale presets
-Parallel, batch and serial execution produce bit-identical results; the cache
-is keyed by plan + technology + conditions + code version, so warm re-runs
-skip the reference solver entirely.  `python -m repro serve` exposes the same
-engine to many concurrent clients over TCP (see `serve --help`).
+Serial, parallel, batch and distributed execution produce bit-identical
+results; the cache is keyed by plan + technology + conditions + code version,
+so warm re-runs skip the reference solver entirely.  `python -m repro serve`
+exposes the same engine to many concurrent clients over TCP (see
+`serve --help`); `python -m repro worker` joins a cluster endpoint.
 """
 
 
@@ -107,13 +119,30 @@ def parse_size(text: str) -> int:
 
 def build_engine(args: argparse.Namespace) -> SweepEngine:
     """Construct the SweepEngine described by the common CLI options."""
+    if args.executor == "distributed":
+        # The distributed executor names its options differently (worker
+        # *processes*, a cluster endpoint) but rides the same CLI flags.
+        if args.batch_size is not None:
+            raise EngineOptionError(
+                "--batch-size only applies to --executor batch, not 'distributed'"
+            )
+        options = {
+            "workers": args.workers,
+            "chunksize": args.chunksize,
+            "connect": args.connect,
+        }
+    else:
+        options = {
+            "max_workers": args.workers,
+            "chunksize": args.chunksize,
+            "batch_size": args.batch_size,
+        }
+        if args.connect is not None:
+            raise EngineOptionError(
+                f"--connect only applies to --executor distributed, not {args.executor!r}"
+            )
     try:
-        executor = make_executor(
-            args.executor,
-            max_workers=args.workers,
-            chunksize=args.chunksize,
-            batch_size=args.batch_size,
-        )
+        executor = make_executor(args.executor, **options)
     except ValueError as error:
         raise EngineOptionError(str(error)) from error
     cache = (
@@ -141,13 +170,28 @@ def _add_engine_options(parser: argparse.ArgumentParser, run_options: bool = Tru
     group = parser.add_argument_group("engine options")
     group.add_argument(
         "--executor",
-        choices=("serial", "parallel", "batch"),
+        choices=("serial", "parallel", "batch", "distributed"),
         default="serial",
-        help="execution strategy (default: serial; parallel/batch are bit-identical)",
+        help="execution strategy (default: serial; all strategies are bit-identical)",
     )
-    group.add_argument("--workers", type=int, default=None, help="process-pool size")
     group.add_argument(
-        "--chunksize", type=int, default=None, help="jobs per pool task (parallel)"
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size / cluster worker processes",
+    )
+    group.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="jobs per pool task (parallel) or dispatched chunk (distributed)",
+    )
+    group.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="cluster endpoint bind address (distributed executor; external "
+        "`python -m repro worker` processes join here)",
     )
     group.add_argument(
         "--batch-size", type=int, default=None, help="jobs per vectorised batch (batch)"
@@ -186,6 +230,9 @@ def _emit_json(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
 def _finish(engine: SweepEngine, elapsed: float) -> None:
     print(f"\n{engine.describe()}")
     print(f"total wall time: {elapsed:.2f} s")
+    close = getattr(engine.executor, "close", None)
+    if callable(close):  # distributed executor: stop spawned workers
+        close()
 
 
 # ----------------------------------------------------------------------
@@ -450,6 +497,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# worker / cluster subcommands
+# ----------------------------------------------------------------------
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster import run_worker
+
+    return run_worker(
+        args.connect,
+        slots=args.slots,
+        name=args.name,
+        connect_timeout=args.connect_timeout,
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ControlError, fetch_status, format_status
+
+    try:
+        status = fetch_status(args.connect, timeout=args.connect_timeout)
+    except (ControlError, OSError, ValueError) as error:
+        print(f"error: cannot reach cluster at {args.connect}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache subcommands
 # ----------------------------------------------------------------------
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -465,6 +541,26 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(
             f"evicted {removed} files from {cache.root}; "
             f"now {cache.size_bytes() / 1e6:.2f} MB in {len(cache)} artifacts"
+        )
+    elif args.json:
+        # Machine-readable `cache info --json`: one JSON document on stdout
+        # for cluster status tooling and CI assertions.  Counters are this
+        # process's view (a fresh CLI run starts at zero); count/bytes are
+        # measured on disk.
+        import dataclasses as _dataclasses
+
+        print(
+            json.dumps(
+                {
+                    "root": str(cache.root),
+                    "count": len(cache),
+                    "bytes": cache.size_bytes(),
+                    "max_bytes": cache.max_bytes,
+                    "stats": _dataclasses.asdict(cache.stats),
+                },
+                indent=2,
+                sort_keys=True,
+            )
         )
     else:
         print(cache.describe())
@@ -529,6 +625,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(serve_parser, run_options=False)
 
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="run a long-lived cluster worker (repro.cluster)",
+        description=(
+            "Connect to a cluster coordinator, register (with heartbeats) "
+            "and execute dispatched job chunks until the coordinator shuts "
+            "the cluster down.  Spawn one worker per core, on any host that "
+            "can reach the endpoint."
+        ),
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="coordinator endpoint"
+    )
+    worker_parser.add_argument(
+        "--slots", type=int, default=1, help="chunks run concurrently (default: 1)"
+    )
+    worker_parser.add_argument(
+        "--name", default=None, help="worker name shown in cluster status"
+    )
+    worker_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="retry-with-backoff budget while the coordinator is binding",
+    )
+
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="inspect a live cluster endpoint"
+    )
+    cluster_parser.add_argument("cluster_command", choices=("status",))
+    cluster_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="coordinator endpoint"
+    )
+    cluster_parser.add_argument(
+        "--json", action="store_true", help="print the raw status document as JSON"
+    )
+    cluster_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        help="connection retry budget (seconds)",
+    )
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect / clear / LRU-evict the artifact cache"
     )
@@ -538,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help=f"artifact cache root (default: {default_cache_dir()})",
+    )
+    cache_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable cache info (count, bytes, limit, counters)",
     )
     _add_cache_size_option(cache_parser)
     return parser
@@ -552,6 +696,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
         return _RUN_COMMANDS[args.workload](args)
     except EngineOptionError as error:
         # Bad engine options (e.g. --workers 0) surface as a clean CLI

@@ -16,6 +16,13 @@ objects and are required to produce bit-identical, order-preserving results:
   corner-grid batch; without a ``batch_fn`` it degrades to a chunked serial
   loop.
 
+A fourth strategy lives one layer up and registers here by name:
+``make_executor("distributed", workers=..., connect=...)`` builds a
+:class:`repro.cluster.DistributedExecutor`, which shards chunks across
+long-lived worker *processes* (local subprocesses and/or workers on other
+hosts) with heartbeats, work stealing and retry-on-worker-death — same
+contract, same bit-identical results.
+
 Executors never reorder results: job ``i``'s result is always at index
 ``i``, whatever completes first.
 """
@@ -169,15 +176,37 @@ class BatchExecutor:
         return results
 
 
+def _make_distributed(**kwargs: Any):
+    # Imported lazily: repro.runtime stays free of any cluster (and hence
+    # asyncio/socket) machinery unless the distributed strategy is chosen.
+    from repro.cluster.executor import DistributedExecutor
+
+    return DistributedExecutor(**kwargs)
+
+
 _EXECUTOR_SPECS = {
     "serial": (SerialExecutor, frozenset()),
     "parallel": (ParallelExecutor, frozenset({"max_workers", "chunksize"})),
     "batch": (BatchExecutor, frozenset({"batch_size"})),
+    "distributed": (
+        _make_distributed,
+        frozenset(
+            {
+                "workers",
+                "connect",
+                "chunksize",
+                "min_workers",
+                "heartbeat_interval",
+                "heartbeat_timeout",
+                "start_timeout",
+            }
+        ),
+    ),
 }
 
 
 def make_executor(name: str, **kwargs: Any):
-    """Build an executor by CLI name (``serial`` / ``parallel`` / ``batch``).
+    """Build an executor by CLI name (``serial``/``parallel``/``batch``/``distributed``).
 
     ``None``-valued options mean "not set" (so CLI defaults can always be
     forwarded), but an option the chosen executor does not understand is a

@@ -11,11 +11,18 @@ and streams per-job progress events back to every interested client.
 
 Layout::
 
-    protocol.py   newline-delimited-JSON framing + message constructors
+    protocol.py   service message constructors (framing shared via repro.wire)
     progress.py   thread-safe progress fan-out (engine callback -> asyncio)
     workloads.py  registry of servable workloads (dse / characterize / ...)
     server.py     SweepService: asyncio.start_server + single-flight
     client.py     ServiceClient (async) + run_sweep (sync convenience)
+
+The service composes with the cluster tier (:mod:`repro.cluster`): built
+on an engine whose executor is ``distributed``, every workload's jobs
+shard across long-lived worker processes, and the ``montecarlo`` workload
+additionally splits large Monte-Carlo PVT batches into
+``SeedSequence``-stable sample ranges (``shards`` param) whose progress
+merges back into each request's single stream.
 
 Server side (or just ``python -m repro serve --port 7463``)::
 

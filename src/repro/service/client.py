@@ -58,10 +58,19 @@ class ServiceClient:
         self._request_ids = itertools.count(1)
         self._busy = False
 
-    async def connect(self) -> "ServiceClient":
+    async def connect(self, timeout: Optional[float] = None) -> "ServiceClient":
+        """Open the connection; already-connected clients return immediately.
+
+        ``timeout`` enables bounded retry-with-backoff on connection
+        failures (see :func:`repro.wire.open_connection`): a server that is
+        still binding its socket — the usual race when client and server
+        start together, e.g. against a subprocess ``python -m repro serve``
+        — is retried until the deadline instead of failing instantly.
+        ``timeout=None`` keeps the historical single-attempt behaviour.
+        """
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port, limit=protocol.MAX_MESSAGE_BYTES
+            self._reader, self._writer = await protocol.open_connection(
+                self.host, self.port, timeout=timeout, limit=protocol.MAX_MESSAGE_BYTES
             )
         return self
 
@@ -175,12 +184,22 @@ def run_sweep(
     params: Optional[Dict[str, Any]] = None,
     on_progress: Optional[ProgressCallback] = None,
     timeout: Optional[float] = None,
+    connect_timeout: Optional[float] = None,
 ) -> SweepResult:
-    """Synchronous one-shot submit for scripts: connect, run, disconnect."""
+    """Synchronous one-shot submit for scripts: connect, run, disconnect.
+
+    ``timeout`` bounds the whole call; ``connect_timeout`` additionally
+    enables retry-with-backoff while the server is still binding (see
+    :meth:`ServiceClient.connect`).
+    """
 
     async def _run() -> SweepResult:
-        async with ServiceClient(host, port) as client:
+        client = ServiceClient(host, port)
+        await client.connect(timeout=connect_timeout)
+        try:
             return await client.submit(workload, params, on_progress=on_progress)
+        finally:
+            await client.aclose()
 
     coro: Any = _run()
     if timeout is not None:

@@ -29,68 +29,30 @@ The protocol is intentionally schema-light: :func:`read_message` enforces
 only framing (line length, valid JSON, top-level object); per-op field
 validation lives with the server, which answers violations with ``error``
 events instead of dropping the connection.
+
+The framing itself (``encode_message`` / ``decode_message`` /
+``read_message``, the line-length guard and :class:`ProtocolError`) lives in
+:mod:`repro.wire` and is shared with the cluster protocol
+(:mod:`repro.cluster.protocol`); this module re-exports it so existing
+imports keep working and adds the service's message constructors.
 """
 
 from __future__ import annotations
 
-import asyncio
-import json
 from typing import Any, Dict, Optional
 
-#: Hard bound on one framed message.  Generous enough for corner tables
-#: (the fast DSE payload is ~10 kB), small enough to stop a rogue peer
-#: from ballooning server memory.
-MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+# Shared NDJSON framing, re-exported for backwards compatibility.
+from repro.wire import (  # noqa: F401  (re-exports)
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    open_connection,
+    read_message,
+)
 
 #: Bumped on incompatible wire changes; the server reports it in ``status``.
 PROTOCOL_VERSION = 1
-
-
-class ProtocolError(ValueError):
-    """A peer violated the framing rules (oversized line, bad JSON, ...)."""
-
-
-def encode_message(message: Dict[str, Any]) -> bytes:
-    """Serialise one message to its wire form (JSON + newline)."""
-    data = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    if len(data) + 1 > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
-            f"message of {len(data)} bytes exceeds the {MAX_MESSAGE_BYTES} byte limit"
-        )
-    return data + b"\n"
-
-
-def decode_message(line: bytes) -> Dict[str, Any]:
-    """Parse one wire line back into a message dict."""
-    try:
-        message = json.loads(line.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(f"message is not valid JSON: {error}") from None
-    if not isinstance(message, dict):
-        raise ProtocolError("message must be a JSON object")
-    return message
-
-
-async def read_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
-    """Read one framed message; ``None`` on clean end-of-stream.
-
-    The caller must have opened the stream with ``limit=MAX_MESSAGE_BYTES``
-    (both :class:`repro.service.server.SweepService` and
-    :class:`repro.service.client.ServiceClient` do), so an oversized line
-    surfaces here as a :class:`ProtocolError` rather than unbounded
-    buffering.
-    """
-    try:
-        line = await reader.readuntil(b"\n")
-    except asyncio.IncompleteReadError as error:
-        if not error.partial:
-            return None
-        raise ProtocolError("connection closed mid-message") from None
-    except asyncio.LimitOverrunError:
-        raise ProtocolError(
-            f"message exceeds the {MAX_MESSAGE_BYTES} byte limit"
-        ) from None
-    return decode_message(line)
 
 
 # ----------------------------------------------------------------------

@@ -127,28 +127,46 @@ def _montecarlo_job(samples: int, seed: int) -> Dict[str, Any]:
 
 @register_workload("montecarlo")
 def run_montecarlo(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
-    """Fig. 5d Monte-Carlo mismatch spread; ``samples`` / ``seed`` params.
+    """Fig. 5d Monte-Carlo mismatch spread; ``samples`` / ``seed`` / ``shards``.
 
-    The panel is one vectorised solver call, so it rides the engine as a
-    single cacheable job: repeat requests are artifact-cache hits and the
-    (single) progress tick still streams to subscribed clients.
+    With ``shards`` (default 1) the per-sample workload splits into that
+    many contiguous :func:`numpy.random.SeedSequence`-stable sample ranges
+    submitted through the engine — under a ``distributed`` executor the
+    shards spread across cluster workers, their progress ticks merge into
+    the request's single progress stream, and the merged panel is
+    bit-identical to the unsharded one.  Each shard is content-addressed,
+    so repeat requests resolve engine-side from the artifact cache and warm
+    shards never reach a worker.
+
+    Unsharded, the panel is one vectorised solver call riding the engine as
+    a single cacheable job, exactly as before.
     """
     from repro.circuits.technology import tsmc65_like
     from repro.runtime import Artifact, Job, job_key
 
     samples = int(params.get("samples", 200))
     seed = int(params.get("seed", 2024))
+    shards = int(params.get("shards", 1))
     if samples < 1:
         raise ValueError("samples must be at least 1")
-    job = Job(
-        fn=_montecarlo_job,
-        args=(samples, seed),
-        name=f"montecarlo[{samples}]",
-        key=job_key("service-montecarlo", tsmc65_like(), samples, seed),
-        encode=lambda result: Artifact(arrays=dict(result)),
-        decode=lambda artifact: dict(artifact.arrays),
-    )
-    result = engine.run_one(job)
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if shards > 1:
+        from repro.analysis.pvt_sweeps import mismatch_monte_carlo_sharded
+
+        result = mismatch_monte_carlo_sharded(
+            tsmc65_like(), samples=samples, seed=seed, shards=shards, engine=engine
+        )
+    else:
+        job = Job(
+            fn=_montecarlo_job,
+            args=(samples, seed),
+            name=f"montecarlo[{samples}]",
+            key=job_key("service-montecarlo", tsmc65_like(), samples, seed),
+            encode=lambda result: Artifact(arrays=dict(result)),
+            decode=lambda artifact: dict(artifact.arrays),
+        )
+        result = engine.run_one(job)
     sigmas = {
         f"{float(t) * 1e9:.1f}ns": float(s)
         for t, s in zip(result["sampling_times"], result["sigma_at_sampling_times"])
@@ -157,5 +175,6 @@ def run_montecarlo(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any
         "command": "montecarlo",
         "samples": samples,
         "seed": seed,
+        "shards": shards,
         "sigma_v_blb": sigmas,
     }

@@ -1,0 +1,110 @@
+"""Shared newline-delimited-JSON wire framing.
+
+One message per line, UTF-8 JSON objects, ``\\n`` terminated — trivially
+debuggable with ``nc`` and language-agnostic on the peer side.  Both network
+layers of the repository speak this framing:
+
+* :mod:`repro.service` — the client-facing sweep service
+  (``python -m repro serve``);
+* :mod:`repro.cluster` — the coordinator/worker links of the distributed
+  executor (``python -m repro worker``).
+
+The framing is deliberately schema-light: :func:`read_message` enforces only
+line length, valid JSON and a top-level object; per-op field validation
+lives with each protocol's server, which answers violations with error
+events instead of dropping the connection.
+
+Everything here used to live in :mod:`repro.service.protocol`; it was
+extracted so the service and the cluster share one tested implementation.
+``repro.service.protocol`` re-exports these names for backwards
+compatibility.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Hard bound on one framed message.  Generous enough for corner tables and
+#: pickled job chunks (the fast DSE payload is ~10 kB), small enough to stop
+#: a rogue peer from ballooning server memory.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A peer violated the framing rules (oversized line, bad JSON, ...)."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form (JSON + newline)."""
+    data = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(data) + 1 > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the {MAX_MESSAGE_BYTES} byte limit"
+        )
+    return data + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line back into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"message is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean end-of-stream.
+
+    The caller must have opened the stream with ``limit=MAX_MESSAGE_BYTES``
+    (:func:`open_connection` and every server in the repository do), so an
+    oversized line surfaces here as a :class:`ProtocolError` rather than
+    unbounded buffering.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-message") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"message exceeds the {MAX_MESSAGE_BYTES} byte limit"
+        ) from None
+    return decode_message(line)
+
+
+async def open_connection(
+    host: str,
+    port: int,
+    timeout: Optional[float] = None,
+    limit: int = MAX_MESSAGE_BYTES,
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a framed stream, retrying with backoff while ``timeout`` lasts.
+
+    With ``timeout=None`` this is a single connection attempt.  With a
+    timeout, connection failures (typically ``ConnectionRefusedError`` from
+    a server that is still binding its socket) are retried with exponential
+    backoff until the deadline, then the last error propagates.  This is
+    what lets a client start concurrently with the server it talks to —
+    cluster workers racing their coordinator, test clients racing a
+    subprocess ``python -m repro serve`` — without a flaky first connect.
+    """
+    if timeout is None:
+        return await asyncio.open_connection(host, port, limit=limit)
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    delay = 0.05
+    while True:
+        try:
+            return await asyncio.open_connection(host, port, limit=limit)
+        except OSError:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise
+            await asyncio.sleep(min(delay, remaining))
+            delay = min(delay * 2.0, 1.0)

@@ -1,0 +1,493 @@
+"""Tests for the distributed worker backend (:mod:`repro.cluster`).
+
+Covers the tentpole guarantees:
+
+* the shared NDJSON framing lives in :mod:`repro.wire` and the service
+  protocol re-exports it (one tested implementation);
+* job chunks survive the pickle transport with cache codecs stripped;
+* ``make_executor("distributed")`` produces **bit-identical** results to
+  the serial executor, merged in submission order whatever the dispatch
+  schedule or work stealing;
+* a worker killed mid-sweep has its chunks reassigned, the sweep completes
+  bit-identically and progress totals stay correct;
+* a *job* exception propagates to the submitting call site (the worker
+  survives);
+* engine-side cache hits are resolved before dispatch — warm shards never
+  reach a worker;
+* the sharded Monte-Carlo panel equals the unsharded one bit-for-bit,
+  serial or distributed, directly and through the service workload;
+* the ``cluster status`` / ``cache info --json`` CLI surfaces work.
+
+Worker subprocesses unpickle job functions by module name; the executor
+propagates the submitter's ``sys.path``, which is what makes this test
+module importable on the worker side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import wire
+from repro.analysis.pvt_sweeps import mismatch_monte_carlo, mismatch_monte_carlo_sharded
+from repro.circuits.technology import tsmc65_like
+from repro.cluster import DistributedExecutor, fetch_status, parse_address
+from repro.cluster import protocol as cluster_protocol
+from repro.runtime import (
+    Artifact,
+    ArtifactCache,
+    Job,
+    SerialExecutor,
+    SweepEngine,
+    SweepSpec,
+    job_key,
+    make_executor,
+)
+from repro.runtime.cli import main as cli_main
+from repro.service import protocol as service_protocol
+from repro.service.workloads import run_montecarlo
+
+START_TIMEOUT = 60.0
+
+
+# ----------------------------------------------------------------------
+# Module-level job bodies (picklable by reference on the worker side)
+# ----------------------------------------------------------------------
+def _square(value: int) -> int:
+    return value * value
+
+
+def _seeded_value(entropy: int, index: int) -> float:
+    """Deterministic float derived from a spawned SeedSequence child."""
+    child = np.random.SeedSequence(entropy).spawn(index + 1)[index]
+    return float(np.random.default_rng(child).standard_normal())
+
+
+def _nap(seconds: float, value: int) -> int:
+    time.sleep(seconds)
+    return value
+
+
+def _boom(message: str) -> None:
+    raise ValueError(message)
+
+
+def _huge_array(count: int) -> np.ndarray:
+    return np.zeros(count)
+
+
+def _array_sum(values: np.ndarray) -> float:
+    return float(values.sum())
+
+
+def _seeded_jobs(count: int) -> list:
+    return [
+        Job(fn=_seeded_value, args=(1234, i), name=f"seeded[{i}]") for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """A two-worker local cluster shared by the non-destructive tests."""
+    executor = DistributedExecutor(workers=2, chunksize=1, start_timeout=START_TIMEOUT)
+    executor.start()
+    if executor._fallback is not None:
+        pytest.skip("cluster cannot start in this environment")
+    yield executor
+    executor.close()
+
+
+# ----------------------------------------------------------------------
+# Shared wire framing (satellite: extraction into repro.wire)
+# ----------------------------------------------------------------------
+class TestSharedWire:
+    def test_service_protocol_reexports_wire(self):
+        assert service_protocol.encode_message is wire.encode_message
+        assert service_protocol.decode_message is wire.decode_message
+        assert service_protocol.read_message is wire.read_message
+        assert service_protocol.ProtocolError is wire.ProtocolError
+        assert service_protocol.MAX_MESSAGE_BYTES == wire.MAX_MESSAGE_BYTES
+
+    def test_round_trip_and_guards(self):
+        message = {"op": "hello", "slots": 2}
+        assert wire.decode_message(wire.encode_message(message)) == message
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_message(b"[1, 2]\n")
+        with pytest.raises(wire.ProtocolError):
+            wire.encode_message({"blob": "x" * wire.MAX_MESSAGE_BYTES})
+
+
+class TestJobTransport:
+    def test_pack_strips_cache_codecs(self):
+        job = Job(
+            fn=_square,
+            args=(3,),
+            name="sq",
+            key=job_key("transport-test", 3),
+            encode=lambda result: Artifact(arrays={"x": np.asarray([result])}),
+            decode=lambda artifact: int(artifact.arrays["x"][0]),
+        )
+        [restored] = cluster_protocol.unpack_jobs(cluster_protocol.pack_jobs([job]))
+        assert restored.run() == 9
+        assert restored.key is None and restored.encode is None and restored.decode is None
+
+    def test_exception_transport_preserves_type(self):
+        blob = cluster_protocol.pack_exception(ValueError("deliberate"))
+        recovered = cluster_protocol.unpack_exception(blob, "fallback")
+        assert isinstance(recovered, ValueError)
+        assert "deliberate" in str(recovered)
+        degraded = cluster_protocol.unpack_exception(None, "fallback text")
+        assert isinstance(degraded, RuntimeError)
+        assert "fallback text" in str(degraded)
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7500") == ("127.0.0.1", 7500)
+        for bad in ("nohost", "host:", "host:notaport", "host:0", ":99"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+# ----------------------------------------------------------------------
+# Executor registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_make_distributed(self):
+        executor = make_executor("distributed", workers=1, chunksize=2)
+        assert isinstance(executor, DistributedExecutor)
+        assert executor.workers == 1 and executor.chunksize == 2
+        executor.close()  # never started: a no-op
+
+    def test_irrelevant_options_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            make_executor("distributed", batch_size=4)
+        with pytest.raises(ValueError, match="does not accept"):
+            make_executor("serial", connect="127.0.0.1:7500")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor("distributed", workers=-1)
+        with pytest.raises(ValueError):
+            make_executor("distributed", connect="not-an-address")
+        with pytest.raises(ValueError):
+            DistributedExecutor(workers=0)  # no local spawn and nowhere to join
+
+    def test_cli_rejects_irrelevant_engine_flags(self, capsys):
+        code = cli_main(
+            ["run", "dse", "--fast", "--quiet", "--executor", "distributed", "--batch-size", "4"]
+        )
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+        code = cli_main(
+            ["run", "dse", "--fast", "--quiet", "--connect", "127.0.0.1:7500"]
+        )
+        assert code == 2
+        assert "--connect" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Distributed execution
+# ----------------------------------------------------------------------
+class TestDistributedExecution:
+    def test_bit_identical_to_serial(self, cluster):
+        jobs = _seeded_jobs(24)
+        serial = SerialExecutor().execute(_seeded_jobs(24))
+        distributed = cluster.execute(jobs)
+        assert distributed == serial  # exact float equality, in order
+
+    def test_progress_is_monotonic_and_complete(self, cluster):
+        ticks = []
+        jobs = [Job(fn=_square, args=(i,), name=f"sq[{i}]") for i in range(16)]
+        results = cluster.execute(jobs, progress=lambda d, t, l: ticks.append((d, t)))
+        assert results == [i * i for i in range(16)]
+        assert ticks[-1] == (16, 16)
+        done_values = [done for done, _ in ticks]
+        assert done_values == sorted(done_values)
+        assert all(total == 16 for _, total in ticks)
+
+    def test_job_exception_propagates_and_cluster_survives(self, cluster):
+        jobs = [Job(fn=_square, args=(1,), name="ok")] + [
+            Job(fn=_boom, args=("deliberate job failure",), name="bad")
+        ]
+        with pytest.raises(ValueError, match="deliberate job failure"):
+            cluster.execute(jobs)
+        # the workers survived the job failure and keep serving
+        assert cluster.execute(_seeded_jobs(6)) == SerialExecutor().execute(_seeded_jobs(6))
+        assert cluster.status()["alive_workers"] == 2
+
+    def test_oversized_result_fails_instead_of_hanging(self, cluster):
+        """A chunk whose results exceed the frame limit must fail the sweep
+        with a diagnosis — never leave it waiting on the chunk forever."""
+        count = 2_000_000  # 16 MB of float64 -> > MAX_MESSAGE_BYTES once framed
+        jobs = [
+            Job(fn=_huge_array, args=(count,), name="huge"),
+            Job(fn=_square, args=(2,), name="ok"),
+        ]
+        with pytest.raises(Exception, match="frame limit"):
+            cluster.execute(jobs)
+        # the workers survived and keep serving
+        assert cluster.execute(_seeded_jobs(4)) == SerialExecutor().execute(_seeded_jobs(4))
+
+    def test_oversized_job_chunk_fails_instead_of_freezing(self, cluster):
+        """A chunk too large to *dispatch* fails its run and leaves the
+        scheduler alive for subsequent sweeps."""
+        big = np.zeros(2_000_000)
+        jobs = [Job(fn=_array_sum, args=(big,), name=f"big[{i}]") for i in range(2)]
+        with pytest.raises(Exception, match="cannot dispatch"):
+            cluster.execute(jobs)
+        assert cluster.execute(_seeded_jobs(4)) == SerialExecutor().execute(_seeded_jobs(4))
+        assert cluster.status()["alive_workers"] == 2
+
+    def test_single_job_runs_inline(self, cluster):
+        before = cluster.status()["stats"]["chunks_dispatched"]
+        assert cluster.execute([Job(fn=_square, args=(7,), name="one")]) == [49]
+        assert cluster.status()["stats"]["chunks_dispatched"] == before
+
+    def test_engine_cache_hits_never_reach_workers(self, cluster, tmp_path):
+        engine = SweepEngine(cluster, cache=ArtifactCache(tmp_path / "cache"))
+
+        def build(value):
+            return Job(
+                fn=_square,
+                args=(value,),
+                name=f"sq[{value}]",
+                key=job_key("cluster-cache-test", value),
+                encode=lambda result: Artifact(arrays={"x": np.asarray([result])}),
+                decode=lambda artifact: int(artifact.arrays["x"][0]),
+            )
+
+        cold = engine.run(SweepSpec("cache-test", [build(i) for i in range(8)]))
+        dispatched_after_cold = cluster.status()["stats"]["jobs_done"]
+        warm = engine.run(SweepSpec("cache-test", [build(i) for i in range(8)]))
+        assert warm == cold == [i * i for i in range(8)]
+        # the warm sweep was resolved engine-side: no job crossed the wire
+        assert cluster.status()["stats"]["jobs_done"] == dispatched_after_cold
+        assert engine.stats.cache_hits == 8
+
+    def test_status_document_and_cli(self, cluster, capsys):
+        host, port = cluster.address
+        status = fetch_status(f"{host}:{port}", timeout=10.0)
+        assert status["alive_workers"] == 2
+        assert status["protocol"] == cluster_protocol.CLUSTER_PROTOCOL_VERSION
+        assert status["version"] == repro.__version__
+        assert len([w for w in status["workers"] if w["alive"]]) == 2
+        assert {w["pid"] for w in status["workers"] if w["alive"]} == set(
+            cluster.worker_pids
+        )
+
+        assert cli_main(["cluster", "status", "--connect", f"{host}:{port}", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["alive_workers"] == 2
+        assert cli_main(["cluster", "status", "--connect", f"{host}:{port}"]) == 0
+        text = capsys.readouterr().out
+        assert "2 alive" in text and "jobs done" in text
+
+    def test_status_unreachable_endpoint_fails_cleanly(self, capsys):
+        assert (
+            cli_main(
+                ["cluster", "status", "--connect", "127.0.0.1:1", "--connect-timeout", "0.2"]
+            )
+            == 2
+        )
+        assert "cannot reach cluster" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Worker failure: kill a worker mid-sweep (satellite)
+# ----------------------------------------------------------------------
+class TestWorkerFailure:
+    def test_killed_worker_chunks_are_reassigned(self):
+        executor = DistributedExecutor(
+            workers=2,
+            chunksize=1,
+            heartbeat_timeout=2.5,
+            start_timeout=START_TIMEOUT,
+        )
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        try:
+            count = 24
+            victim = executor.worker_pids[0]
+            killed = []
+            ticks = []
+
+            def progress(done: int, total: int, label: str) -> None:
+                ticks.append((done, total))
+                if done == 2 and not killed:
+                    os.kill(victim, signal.SIGKILL)
+                    killed.append(victim)
+
+            jobs = [Job(fn=_nap, args=(0.12, i), name=f"nap[{i}]") for i in range(count)]
+            results = executor.execute(jobs, progress=progress)
+
+            # the sweep completed bit-identically to serial despite the kill
+            assert killed, "the victim worker was never killed"
+            assert results == list(range(count))
+            # progress stayed monotonic against the full total and finished
+            assert ticks[-1] == (count, count)
+            done_values = [done for done, _ in ticks]
+            assert done_values == sorted(done_values)
+            assert all(total == count for _, total in ticks)
+            # the coordinator recorded the death and the reassignments
+            status = executor.status()
+            assert status["alive_workers"] == 1
+            assert status["stats"]["workers_lost"] == 1
+            assert status["stats"]["chunks_retried"] >= 1
+            assert status["stats"]["jobs_done"] >= count
+        finally:
+            executor.close()
+
+    def test_failed_start_warns_and_fallback_resets_on_restart(self):
+        """An unavailable cluster warns audibly and degrades to serial; a
+        later successful restart routes sweeps to real workers again."""
+        executor = DistributedExecutor(
+            workers=0, connect="127.0.0.1:65413", min_workers=1, start_timeout=1.0
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            executor.start()
+        assert executor._fallback is not None
+        assert executor.execute(_seeded_jobs(4)) == SerialExecutor().execute(_seeded_jobs(4))
+        executor.close()
+
+        # reconfigure to something startable and restart
+        executor.workers = 1
+        executor.connect = None
+        executor.start_timeout = START_TIMEOUT
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        try:
+            assert executor.execute(_seeded_jobs(4)) == SerialExecutor().execute(
+                _seeded_jobs(4)
+            )
+            assert executor.status()["alive_workers"] == 1
+        finally:
+            executor.close()
+
+    def test_all_workers_dead_fails_instead_of_hanging(self):
+        executor = DistributedExecutor(
+            workers=1,
+            chunksize=1,
+            heartbeat_timeout=2.0,
+            start_timeout=START_TIMEOUT,
+        )
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        # A chunk that kills its (only) worker exhausts the retry budget.
+        executor.coordinator.worker_wait_timeout = 1.0
+        try:
+            victim = executor.worker_pids[0]
+            jobs = [Job(fn=_nap, args=(0.3, i), name=f"nap[{i}]") for i in range(6)]
+
+            def progress(done: int, total: int, label: str) -> None:
+                if done == 1:
+                    os.kill(victim, signal.SIGKILL)
+
+            with pytest.raises(Exception, match="(abandoned|no workers)"):
+                executor.execute(jobs, progress=progress)
+        finally:
+            executor.close()
+
+
+# ----------------------------------------------------------------------
+# Sharded Monte-Carlo (service <-> cluster integration)
+# ----------------------------------------------------------------------
+class TestShardedMonteCarlo:
+    def test_sharded_equals_unsharded_serial(self):
+        technology = tsmc65_like()
+        reference = mismatch_monte_carlo(technology, samples=24, seed=11)
+        sharded = mismatch_monte_carlo_sharded(technology, samples=24, seed=11, shards=3)
+        np.testing.assert_array_equal(
+            reference["sigma_at_sampling_times"], sharded["sigma_at_sampling_times"]
+        )
+        np.testing.assert_array_equal(
+            reference["final_voltages"], sharded["final_voltages"]
+        )
+        np.testing.assert_array_equal(reference["times"], sharded["times"])
+
+    def test_sharded_equals_unsharded_distributed(self, cluster):
+        technology = tsmc65_like()
+        reference = mismatch_monte_carlo(technology, samples=30, seed=5)
+        distributed = mismatch_monte_carlo_sharded(
+            technology, samples=30, seed=5, shards=5, engine=SweepEngine(cluster)
+        )
+        np.testing.assert_array_equal(
+            reference["sigma_at_sampling_times"],
+            distributed["sigma_at_sampling_times"],
+        )
+        np.testing.assert_array_equal(
+            reference["final_voltages"], distributed["final_voltages"]
+        )
+
+    def test_shard_jobs_are_cacheable(self, tmp_path):
+        technology = tsmc65_like()
+        engine = SweepEngine(cache=ArtifactCache(tmp_path / "cache"))
+        cold = mismatch_monte_carlo_sharded(
+            technology, samples=16, seed=3, shards=4, engine=engine
+        )
+        warm = mismatch_monte_carlo_sharded(
+            technology, samples=16, seed=3, shards=4, engine=engine
+        )
+        np.testing.assert_array_equal(
+            cold["sigma_at_sampling_times"], warm["sigma_at_sampling_times"]
+        )
+        assert engine.stats.cache_hits == 4
+        assert engine.stats.jobs_executed == 4  # only the cold run executed
+
+    def test_service_workload_shards_match_single_job(self, tmp_path):
+        engine = SweepEngine(cache=ArtifactCache(tmp_path / "cache"))
+        single = run_montecarlo({"samples": 24, "seed": 7}, engine)
+        sharded = run_montecarlo({"samples": 24, "seed": 7, "shards": 3}, engine)
+        assert single["sigma_v_blb"] == sharded["sigma_v_blb"]
+        assert sharded["shards"] == 3
+        with pytest.raises(ValueError):
+            run_montecarlo({"samples": 8, "shards": 0}, engine)
+
+
+# ----------------------------------------------------------------------
+# CLI: cache info --json (satellite)
+# ----------------------------------------------------------------------
+class TestCacheInfoJson:
+    def test_cache_info_json_document(self, tmp_path, capsys):
+        cache = ArtifactCache(tmp_path / "cache")
+        key = job_key("cache-info-json-test", 1)
+        cache.put(key, Artifact(arrays={"x": np.arange(4.0)}, meta={"k": 1}))
+
+        code = cli_main(["cache", "info", "--cache-dir", str(tmp_path / "cache"), "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 1
+        assert document["bytes"] > 0
+        assert document["max_bytes"] is None
+        assert document["root"] == str(tmp_path / "cache")
+        assert set(document["stats"]) == {
+            "hits",
+            "misses",
+            "writes",
+            "corrupt_dropped",
+            "evictions",
+        }
+
+    def test_cache_info_json_subprocess(self, tmp_path):
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        output = subprocess.check_output(
+            [sys.executable, "-m", "repro", "cache", "info", "--json"],
+            env=env,
+            text=True,
+            timeout=START_TIMEOUT,
+        )
+        document = json.loads(output)
+        assert document["count"] == 0
+        assert document["bytes"] == 0

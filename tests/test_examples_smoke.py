@@ -33,6 +33,7 @@ class TestExamples:
             "dnn_inference.py",
             "pvt_robustness.py",
             "service_clients.py",
+            "cluster_pool.py",
         } <= names
 
     def test_quickstart_runs(self, capsys):

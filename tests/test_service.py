@@ -394,6 +394,53 @@ class TestSweepService:
             run(client.submit("toy"))
 
 
+class TestConnectRetry:
+    """`ServiceClient.connect(timeout=...)` rides out a server still binding."""
+
+    def test_connect_retries_until_late_server_binds(self, toy_workloads, tmp_path):
+        async def scenario():
+            engine = SweepEngine(cache=ArtifactCache(tmp_path))
+            # Reserve a port, then bind the real service to it *after* the
+            # client has already started connecting.
+            probe = SweepService(engine)
+            host, port = await probe.start()
+            await probe.stop()
+            service = SweepService(engine, host=host, port=port)
+
+            async def bind_late():
+                await asyncio.sleep(0.3)
+                await service.start()
+
+            binder = asyncio.create_task(bind_late())
+            client = ServiceClient(host, port)
+            try:
+                await client.connect(timeout=10.0)
+                alive = await client.ping()
+            finally:
+                await binder
+                await client.aclose()
+                await service.stop()
+            return alive
+
+        assert run(scenario()) is True
+
+    def test_connect_without_timeout_fails_fast(self):
+        async def scenario():
+            client = ServiceClient("127.0.0.1", 1)
+            with pytest.raises(OSError):
+                await client.connect()
+
+        run(scenario())
+
+    def test_connect_timeout_eventually_raises(self):
+        async def scenario():
+            client = ServiceClient("127.0.0.1", 1)
+            with pytest.raises(OSError):
+                await client.connect(timeout=0.3)
+
+        run(scenario())
+
+
 class TestServeCli:
     def test_cli_serve_end_to_end(self, tmp_path):
         """`python -m repro serve` + two sequential clients: cold run then a
@@ -434,6 +481,7 @@ class TestServeCli:
                 {"fast": True},
                 on_progress=lambda d, t, label: ticks.append((d, t)),
                 timeout=TIMEOUT * 4,
+                connect_timeout=TIMEOUT,  # rides out a server still binding
             )
             warm = run_sweep(
                 "127.0.0.1", port, "characterize", {"fast": True}, timeout=TIMEOUT * 4
