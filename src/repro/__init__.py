@@ -34,14 +34,24 @@ The package is organised in layers, bottom-up:
   (``python -m repro worker`` / ``make_executor("distributed")``): a
   coordinator that shards content-hashed job chunks across long-lived
   worker processes (local or on other hosts) with registration,
-  heartbeats, work stealing and retry-on-worker-death — still
-  bit-identical to serial execution, merged in submission order.
+  heartbeats, work stealing, retry-on-worker-death and chunk revocation
+  for cancelled runs — still bit-identical to serial execution, merged in
+  submission order.
+* :mod:`repro.journal` — the persistent append-only job journal behind
+  ``python -m repro serve --resume``: jobs a killed server (or its
+  embedded cluster coordinator) left interrupted are re-enqueued on
+  restart instead of dropped.
 
 Engine, service and cluster form the three-tier execution architecture
-(see README): the engine is the substrate, the service serves many
-clients on top of it, and the cluster plugs in underneath as just another
-executor — so every driver and every service workload gains distributed
-execution without code changes.
+(see ``docs/architecture.md``): the engine is the substrate, the service
+serves many clients on top of it, and the cluster plugs in underneath as
+just another executor — so every driver and every service workload gains
+distributed execution without code changes.  A resilience layer spans all
+three tiers: cooperative sweep cancellation (wire-level ``cancel``,
+disconnect-implies-cancel, coordinator chunk revocation), per-client
+backpressure with structured ``busy`` errors, and the persistent job
+journal — ``docs/protocol.md`` specifies the wire behaviour and
+``docs/operations.md`` the deployment / recovery runbook.
 
 The layering rule: :mod:`repro.runtime` is generic infrastructure and
 imports nothing from the modelling layers (the shared NDJSON framing both
@@ -53,6 +63,6 @@ runtime unconditionally and the modelling layers only lazily, per
 workload.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["__version__"]

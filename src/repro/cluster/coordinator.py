@@ -22,7 +22,11 @@ sweeps):
   forever;
 * results are merged **by global job index**, so whatever the dispatch
   schedule, chunk sizing or steal pattern, the returned list is bit-identical
-  to a serial run (the same guarantee every in-process executor gives).
+  to a serial run (the same guarantee every in-process executor gives);
+* a run whose ``cancel_event`` fires is **revoked**: queued chunks are
+  purged, workers holding in-flight chunks receive ``cancel`` events and
+  stop at their next job boundary, and the run fails with
+  :class:`~repro.runtime.SweepCancelled` at the submitting call site.
 
 A job that *raises* on a worker is a run failure, not a worker failure: the
 original exception travels back pickled and re-raises at the submitting
@@ -44,7 +48,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import wire
 from repro.cluster import protocol
-from repro.runtime.executors import ProgressCallback
+from repro.runtime.executors import CancelEvent, ProgressCallback, SweepCancelled
 from repro.runtime.jobs import Job, code_version
 
 
@@ -231,10 +235,12 @@ class Coordinator:
         self._stopping = False
         self.stats: Dict[str, int] = {
             "runs": 0,
+            "runs_cancelled": 0,
             "chunks_dispatched": 0,
             "chunks_completed": 0,
             "chunks_stolen": 0,
             "chunks_retried": 0,
+            "chunks_cancelled": 0,
             "jobs_done": 0,
             "workers_lost": 0,
             "duplicate_results": 0,
@@ -302,6 +308,7 @@ class Coordinator:
         jobs: Sequence[Job],
         chunksize: int,
         progress: Optional[ProgressCallback] = None,
+        cancel_event: Optional[CancelEvent] = None,
     ) -> List[Any]:
         """Execute ``jobs`` across the cluster; results in submission order.
 
@@ -309,6 +316,12 @@ class Coordinator:
         complete, reporting ``(jobs done, jobs total, last job label)`` —
         callers bridging to other threads must pass a thread-safe callback
         (the distributed executor and the service broadcaster both do).
+
+        ``cancel_event`` (a :class:`threading.Event`, settable from any
+        thread) enables cooperative cancellation: a watcher polls it and,
+        once set, revokes the run's queued chunks, tells workers to drop
+        its in-flight ones (``cancel`` events) and fails the run with
+        :class:`~repro.runtime.SweepCancelled`.
         """
         jobs = list(jobs)
         if not jobs:
@@ -328,11 +341,51 @@ class Coordinator:
         ]
         self._distribute(chunks)
         self._kick.set()
+        watcher: Optional["asyncio.Task"] = None
+        if cancel_event is not None:
+            watcher = asyncio.ensure_future(self._watch_cancel(run, cancel_event))
         try:
             return await run.future
         finally:
+            if watcher is not None:
+                watcher.cancel()
+                await asyncio.gather(watcher, return_exceptions=True)
             self._runs.pop(run.id, None)
             self._drop_run_chunks(run)
+
+    async def _watch_cancel(self, run: _Run, cancel_event: CancelEvent) -> None:
+        """Poll ``cancel_event``; revoke the run's work once it fires."""
+        while not run.done:
+            if cancel_event.is_set():
+                await self.cancel_run(run)
+                return
+            await asyncio.sleep(min(0.05, self.heartbeat_interval))
+
+    async def cancel_run(self, run: _Run) -> None:
+        """Abort one run: revoke queued chunks, drop in-flight ones.
+
+        Queued chunks (per-worker backlogs and the orphan pool) are purged;
+        every worker holding an in-flight chunk of this run receives a
+        ``cancel`` event and stops at its next job boundary.  The run's
+        future fails with :class:`~repro.runtime.SweepCancelled`, which
+        propagates to the submitting call site.
+        """
+        if run.done:
+            return
+        self.stats["runs_cancelled"] += 1
+        self._drop_run_chunks(run)
+        for link in self._alive_links():
+            doomed = [
+                chunk_id
+                for chunk_id, chunk in link.inflight.items()
+                if chunk.run is run
+            ]
+            for chunk_id in doomed:
+                link.inflight.pop(chunk_id, None)
+                self.stats["chunks_cancelled"] += 1
+                await link.send(protocol.cancel_event(chunk_id))
+        run.fail(SweepCancelled(f"run {run.id} cancelled"))
+        self._kick.set()
 
     # ------------------------------------------------------------------
     # Scheduling: per-worker queues + work stealing

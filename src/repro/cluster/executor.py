@@ -49,7 +49,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.cluster.coordinator import ClusterError, Coordinator
 from repro.cluster.worker import parse_address
-from repro.runtime.executors import ProgressCallback, SerialExecutor
+from repro.runtime.executors import CancelEvent, ProgressCallback, SerialExecutor
 from repro.runtime.jobs import Job
 
 
@@ -281,23 +281,28 @@ class DistributedExecutor:
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+        cancel: Optional[CancelEvent] = None,
     ) -> List[Any]:
         """Run ``jobs`` across the cluster; results in submission order.
 
         Like the process-pool executor, single-job sweeps run inline (no
         wire round-trip can pay for itself) and ``batch_fn`` is ignored —
-        vectorised batching is an in-process strategy.
+        vectorised batching is an in-process strategy.  A set ``cancel``
+        event is forwarded to the coordinator, which revokes the run's
+        queued chunks and tells workers to drop in-flight ones; the call
+        then raises :class:`~repro.runtime.SweepCancelled`.
         """
         if len(jobs) <= 1:
-            return SerialExecutor().execute(jobs, progress)
+            return SerialExecutor().execute(jobs, progress, cancel=cancel)
         if not self._started:
             self.start()
         if self._fallback is not None:
-            return self._fallback.execute(jobs, progress)
+            return self._fallback.execute(jobs, progress, cancel=cancel)
         assert self.coordinator is not None and self._loop is not None
         chunksize = self.chunksize or self._default_chunksize(len(jobs))
         future = asyncio.run_coroutine_threadsafe(
-            self.coordinator.run(jobs, chunksize, progress=progress), self._loop
+            self.coordinator.run(jobs, chunksize, progress=progress, cancel_event=cancel),
+            self._loop,
         )
         return future.result()
 

@@ -39,6 +39,10 @@ Coordinator -> worker events:
                 ``heartbeat_seconds``.
 ``chunk``     — one chunk of jobs to run: ``chunk`` (id) plus ``jobs``
                 (:func:`pack_jobs` blob).
+``cancel``    — drop one in-flight chunk (``chunk`` id): its run was
+                cancelled.  The worker stops at the next job boundary and
+                reports nothing; a result that still arrives is counted as
+                a harmless duplicate and discarded.
 ``shutdown``  — drain and exit; also implied by end-of-stream.
 
 Job chunks and results cross the wire as base64-wrapped pickles inside the
@@ -63,7 +67,9 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.runtime.jobs import Job
 
 #: Bumped on incompatible cluster-wire changes; checked during ``hello``.
-CLUSTER_PROTOCOL_VERSION = 1
+#: Version 2 added the ``cancel`` event (coordinator -> worker chunk
+#: revocation for cancelled runs).
+CLUSTER_PROTOCOL_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -163,6 +169,10 @@ def chunk_failed_request(chunk_id: str, error: BaseException) -> Dict[str, Any]:
         "error": f"{type(error).__name__}: {error}",
         "exception": pack_exception(error),
     }
+
+
+def cancel_event(chunk_id: str) -> Dict[str, Any]:
+    return {"event": "cancel", "chunk": chunk_id}
 
 
 def shutdown_event() -> Dict[str, Any]:

@@ -13,6 +13,9 @@ its pid, slot count and code version, and then loops:
   the *worker survives* and keeps serving other chunks, the *sweep* fails
   at the submitting call site exactly as it would under the serial
   executor;
+* a ``cancel`` event revokes one in-flight chunk (its run was cancelled):
+  the chunk body stops at its next job boundary and reports nothing —
+  the worker stays registered and keeps serving other chunks;
 * heartbeats are sent at the interval the coordinator's ``welcome``
   announced, so a wedged or killed worker is detected and its chunks are
   reassigned;
@@ -30,12 +33,24 @@ from __future__ import annotations
 import asyncio
 import os
 import socket
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import wire
 from repro.cluster import protocol
-from repro.runtime.jobs import code_version
+from repro.runtime.executors import SweepCancelled
+from repro.runtime.jobs import Job, code_version
+
+
+def _run_jobs(jobs: List[Job], cancel: threading.Event) -> List[Any]:
+    """Chunk body on the worker thread: run jobs, stop on revocation."""
+    results: List[Any] = []
+    for job in jobs:
+        if cancel.is_set():
+            raise SweepCancelled("chunk revoked by coordinator")
+        results.append(job.run())
+    return results
 
 
 class WorkerError(RuntimeError):
@@ -43,7 +58,15 @@ class WorkerError(RuntimeError):
 
 
 def parse_address(text: str) -> Tuple[str, int]:
-    """Parse a ``host:port`` endpoint string."""
+    """Parse a ``host:port`` endpoint string.
+
+    >>> parse_address("coordinator-host:7500")
+    ('coordinator-host', 7500)
+    >>> parse_address("7500")
+    Traceback (most recent call last):
+        ...
+    ValueError: invalid address '7500' (expected HOST:PORT)
+    """
     host, separator, port_text = text.rpartition(":")
     if not separator or not host:
         raise ValueError(f"invalid address {text!r} (expected HOST:PORT)")
@@ -102,6 +125,9 @@ class Worker:
         loop = asyncio.get_running_loop()
         heartbeat_task: Optional["asyncio.Task"] = None
         chunk_tasks: set = set()
+        # Per-chunk revocation flags: a coordinator `cancel` event sets the
+        # matching flag and the chunk body stops at its next job boundary.
+        chunk_cancels: Dict[str, threading.Event] = {}
 
         async def send(message: Dict[str, Any]) -> None:
             async with send_lock:
@@ -128,15 +154,30 @@ class Worker:
                     await send(protocol.heartbeat_request(self.worker_id or ""))
 
             async def run_chunk(chunk_id: str, blob: str) -> None:
+                # The flag was registered by the read loop when the chunk
+                # arrived, so a `cancel` processed before this task first
+                # runs is still seen.
+                cancel = chunk_cancels.get(chunk_id) or threading.Event()
                 try:
                     jobs = protocol.unpack_jobs(blob)
                     results = await loop.run_in_executor(
-                        pool, lambda: [job.run() for job in jobs]
+                        pool, _run_jobs, jobs, cancel
                     )
                 except asyncio.CancelledError:
                     raise
+                except SweepCancelled:
+                    # Revoked chunk: the coordinator already disowned it,
+                    # so report nothing and stay available for new work.
+                    return
                 except BaseException as error:  # job failure -> sweep failure
-                    await send(protocol.chunk_failed_request(chunk_id, error))
+                    if not cancel.is_set():
+                        await send(protocol.chunk_failed_request(chunk_id, error))
+                    return
+                finally:
+                    chunk_cancels.pop(chunk_id, None)
+                if cancel.is_set():
+                    # Revocation raced chunk completion; drop the result —
+                    # the coordinator would discard it as a duplicate anyway.
                     return
                 try:
                     reply = wire.encode_message(
@@ -171,11 +212,17 @@ class Worker:
                 if message is None or message.get("event") == "shutdown":
                     break
                 if message.get("event") == "chunk":
+                    chunk_id = str(message.get("chunk"))
+                    chunk_cancels[chunk_id] = threading.Event()
                     task = asyncio.ensure_future(
-                        run_chunk(str(message.get("chunk")), str(message.get("jobs", "")))
+                        run_chunk(chunk_id, str(message.get("jobs", "")))
                     )
                     chunk_tasks.add(task)
                     task.add_done_callback(reap_chunk_task)
+                elif message.get("event") == "cancel":
+                    revoked = chunk_cancels.get(str(message.get("chunk")))
+                    if revoked is not None:
+                        revoked.set()
                 elif message.get("event") == "error":
                     raise WorkerError(f"coordinator error: {message.get('error')}")
                 # anything else: ignore (forward compatibility)
@@ -207,7 +254,30 @@ def run_worker(
     name: Optional[str] = None,
     connect_timeout: float = 10.0,
 ) -> int:
-    """Synchronous entry point used by ``python -m repro worker``."""
+    """Synchronous entry point used by ``python -m repro worker``.
+
+    Parameters
+    ----------
+    connect:
+        Coordinator endpoint as ``HOST:PORT`` (the address the submitting
+        process passed to ``--connect``, or printed in ``cluster status``).
+    slots:
+        Chunks run concurrently by this worker (default 1: parallelism
+        comes from running one worker per core).
+    name:
+        Display name in ``cluster status``; default ``<hostname>-<pid>``.
+    connect_timeout:
+        Retry-with-backoff budget while the coordinator is still binding.
+
+    Returns the process exit code: ``0`` on clean shutdown (coordinator
+    closed the cluster), ``1`` on registration / transport failure —
+    version-mismatch rejections land here, printed to stdout.
+
+    Raises
+    ------
+    ValueError
+        For a malformed ``connect`` address or ``slots < 1``.
+    """
     host, port = parse_address(connect)
     worker = Worker(host, port, slots=slots, name=name, connect_timeout=connect_timeout)
     try:

@@ -36,6 +36,13 @@ Long-lived serving (see :mod:`repro.service` for the protocol)::
 Progress callbacks always see the *true* sweep size: cache hits count as
 completed work, so a warm re-run still reports ``total`` ticks instead of
 going dark.
+
+Sweeps are **cooperatively cancellable**: ``SweepEngine.run(...,
+cancel_event=threading.Event())`` (or an engine-level default) makes every
+executor stop at the next job / chunk boundary and raise
+:class:`SweepCancelled` once the event is set — the mechanism behind the
+service's wire-level ``cancel`` and disconnect-implies-cancel semantics
+(see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -47,9 +54,11 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Uni
 from repro.runtime.cache import Artifact, ArtifactCache, CacheStats, default_cache_dir
 from repro.runtime.executors import (
     BatchExecutor,
+    CancelEvent,
     ParallelExecutor,
     ProgressCallback,
     SerialExecutor,
+    SweepCancelled,
     make_executor,
 )
 from repro.runtime.jobs import Job, SweepSpec, code_version, fingerprint, job_key
@@ -59,11 +68,13 @@ __all__ = [
     "ArtifactCache",
     "BatchExecutor",
     "CacheStats",
+    "CancelEvent",
     "EngineStats",
     "Job",
     "ParallelExecutor",
     "ProgressCallback",
     "SerialExecutor",
+    "SweepCancelled",
     "SweepEngine",
     "SweepSpec",
     "code_version",
@@ -100,6 +111,9 @@ class SweepEngine:
     executor:
         Execution strategy; defaults to :class:`SerialExecutor`, which keeps
         every existing driver's behaviour (and numerical output) unchanged.
+        Any object with the executor ``execute`` contract works — the
+        registry names (:func:`make_executor`) are ``serial``, ``parallel``,
+        ``batch`` and ``distributed``.
     cache:
         Optional :class:`ArtifactCache`.  Jobs that carry a content hash and
         codecs are served from the cache when possible and stored after
@@ -107,6 +121,29 @@ class SweepEngine:
     progress:
         Default progress callback used by :meth:`run` when the caller does
         not pass one (the CLI installs its progress line here).
+    cancel_event:
+        Default cooperative-cancellation event used by :meth:`run` when the
+        caller does not pass one.  Setting it makes the *next* ``run`` (and
+        any run currently executing through this engine) raise
+        :class:`SweepCancelled` at the next job / chunk boundary.  The
+        serving tier gives every single-flighted request its own engine view
+        with a per-flight event here, so a cancelled request aborts without
+        touching unrelated sweeps.
+
+    Raises
+    ------
+    SweepCancelled
+        From :meth:`run` / :meth:`run_one` / :meth:`map` when the effective
+        cancel event is set before the sweep completes.  No partial results
+        are returned and nothing is written to the cache.
+
+    Examples
+    --------
+    >>> engine = SweepEngine()
+    >>> engine.map(lambda a, b: a + b, [(1, 2), (3, 4)])
+    [3, 7]
+    >>> engine.stats.sweeps, engine.stats.jobs_executed
+    (1, 2)
     """
 
     def __init__(
@@ -114,10 +151,12 @@ class SweepEngine:
         executor: Optional[Any] = None,
         cache: Optional[ArtifactCache] = None,
         progress: Optional[ProgressCallback] = None,
+        cancel_event: Optional[CancelEvent] = None,
     ):
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.progress = progress
+        self.cancel_event = cancel_event
         self.stats = EngineStats()
         # Counter updates are read-modify-write; the serving layer runs
         # sweeps from several worker threads against shallow engine copies
@@ -132,15 +171,24 @@ class SweepEngine:
         self,
         work: Union[SweepSpec, Sequence[Job]],
         progress: Optional[ProgressCallback] = None,
+        cancel_event: Optional[CancelEvent] = None,
     ) -> List[Any]:
         """Execute a sweep and return the job results in submission order.
 
         Cacheable jobs are resolved against the artifact cache first; only
         the misses are handed to the executor, and their results are stored
         back so the next run of the same sweep is near-instant.
+
+        ``cancel_event`` (or the engine-level :attr:`cancel_event` default)
+        enables cooperative cancellation: once set, the run raises
+        :class:`SweepCancelled` at the next job / chunk boundary — during
+        cache resolution, between executed jobs, or (for the distributed
+        executor) after the coordinator revokes the outstanding chunks.  A
+        cancelled run stores nothing in the cache.
         """
         spec = work if isinstance(work, SweepSpec) else SweepSpec("sweep", list(work))
         progress = progress if progress is not None else self.progress
+        cancel = cancel_event if cancel_event is not None else self.cancel_event
         with self._stats_lock:
             self.stats.sweeps += 1
             self.stats.jobs_submitted += len(spec.jobs)
@@ -153,6 +201,8 @@ class SweepEngine:
         pending: List[Tuple[int, Job]] = []
         hits = 0
         for index, job in enumerate(spec.jobs):
+            if cancel is not None and cancel.is_set():
+                raise SweepCancelled(f"sweep {spec.name!r} cancelled during cache resolution")
             if self.cache is not None and job.cacheable:
                 artifact = self.cache.get(job.key)
                 if artifact is not None:
@@ -174,9 +224,20 @@ class SweepEngine:
                 def executor_progress(done: int, _executed_total: int, label: str) -> None:
                     progress(offset + done, total, label)
 
-            executed = self.executor.execute(
-                pending_jobs, progress=executor_progress, batch_fn=spec.batch_fn
-            )
+            if cancel is not None:
+                # The keyword is only forwarded when cancellation is armed,
+                # so third-party executors that predate the contract keep
+                # working for every non-cancellable run.
+                executed = self.executor.execute(
+                    pending_jobs,
+                    progress=executor_progress,
+                    batch_fn=spec.batch_fn,
+                    cancel=cancel,
+                )
+            else:
+                executed = self.executor.execute(
+                    pending_jobs, progress=executor_progress, batch_fn=spec.batch_fn
+                )
             with self._stats_lock:
                 self.stats.jobs_executed += len(pending_jobs)
             for (index, job), value in zip(pending, executed):

@@ -107,6 +107,27 @@ class ArtifactCache:
         on-disk footprint over the limit evicts least-recently-used
         artifacts (never the one just written) until the cache fits;
         :meth:`evict` applies the same policy on demand.
+
+    Raises
+    ------
+    ValueError
+        For a negative ``max_bytes``, or (from :meth:`path_for` /
+        :meth:`get` / :meth:`put`) for keys that are not lowercase hex
+        digests.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> import numpy as np
+    >>> cache = ArtifactCache(tempfile.mkdtemp())
+    >>> key = "ab" * 32                       # content hash from job_key()
+    >>> path = cache.put(key, Artifact(arrays={"x": np.arange(3)}))
+    >>> cache.get(key).arrays["x"].tolist()
+    [0, 1, 2]
+    >>> len(cache), cache.stats.hits
+    (1, 1)
+    >>> cache.get("cd" * 32) is None          # miss
+    True
     """
 
     def __init__(self, root: Optional[PathLike] = None, max_bytes: Optional[int] = None):

@@ -53,6 +53,14 @@ clients submit DSE / PVT / characterisation sweeps over a
 newline-delimited-JSON TCP protocol, identical in-flight requests are
 deduplicated (single-flight), and per-job progress events stream back to
 every client (see :mod:`repro.service` for the client API).
+
+The serve command also owns the resilience knobs: per-client backpressure
+(``--max-inflight``, ``--max-queued-bytes``, ``--rate``/``--burst`` —
+over-budget submits are answered with a structured ``busy`` error), and
+the persistent job journal (``--journal PATH``, ``--no-journal``) with
+``--resume`` to re-enqueue whatever a killed server left interrupted.
+See ``docs/operations.md`` for deployment guidance and the recovery
+runbook, and ``docs/protocol.md`` for the wire protocol.
 """
 
 from __future__ import annotations
@@ -81,6 +89,11 @@ results; the cache is keyed by plan + technology + conditions + code version,
 so warm re-runs skip the reference solver entirely.  `python -m repro serve`
 exposes the same engine to many concurrent clients over TCP (see
 `serve --help`); `python -m repro worker` joins a cluster endpoint.
+
+Full documentation lives in docs/: docs/architecture.md (the three-tier
+execution architecture and its data flows), docs/protocol.md (the NDJSON
+wire protocols of both listeners), docs/operations.md (deployment, cache
+sizing, backpressure tuning and the journal recovery runbook).
 """
 
 
@@ -101,7 +114,19 @@ class EngineOptionError(ValueError):
 
 
 def parse_size(text: str) -> int:
-    """Parse a byte count with optional K/M/G suffix (``500M`` -> 5e8)."""
+    """Parse a byte count with optional K/M/G suffix.
+
+    >>> parse_size("500M")
+    500000000
+    >>> parse_size("1.5k")
+    1500
+    >>> parse_size("2GB")
+    2000000000
+    >>> parse_size("many")
+    Traceback (most recent call last):
+        ...
+    ValueError: invalid size 'many' (expected e.g. 500000000, 500M, 2G)
+    """
     raw = text.strip().lower().removesuffix("b")
     multipliers = {"k": 10**3, "m": 10**6, "g": 10**9}
     multiplier = 1
@@ -469,11 +494,30 @@ _RUN_COMMANDS = {
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.journal import JobJournal, default_journal_path
     from repro.service import SweepService, workload_names
 
     engine = build_engine(args)
+    journal = None
+    if not args.no_journal:
+        journal_path = args.journal or default_journal_path(args.cache_dir)
+        journal = JobJournal(journal_path)
+    elif args.resume:
+        print("error: --resume requires the journal (drop --no-journal)", file=sys.stderr)
+        return 2
+    if args.burst is not None and args.rate is None:
+        print("error: --burst only applies together with --rate", file=sys.stderr)
+        return 2
     service = SweepService(
-        engine, host=args.host, port=args.port, max_workers=args.service_workers
+        engine,
+        host=args.host,
+        port=args.port,
+        max_workers=args.service_workers,
+        max_inflight=args.max_inflight,
+        max_queued_bytes=args.max_queued_bytes,
+        rate=args.rate,
+        burst=args.burst,
+        journal=journal,
     )
 
     async def _serve() -> None:
@@ -484,6 +528,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         print(engine.describe(), flush=True)
+        if journal is not None:
+            print(journal.describe(), flush=True)
+        if args.resume:
+            resumed = await service.resume()
+            print(f"resumed {resumed} interrupted job(s) from the journal", flush=True)
         try:
             await service.serve_forever()
         finally:
@@ -622,6 +671,53 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="worker threads running blocking sweeps (distinct sweeps in flight)",
+    )
+    backpressure = serve_parser.add_argument_group(
+        "backpressure (per-client; over-budget submits are answered `busy`)"
+    )
+    backpressure.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="max concurrently in-flight submits per connection (default: 8)",
+    )
+    backpressure.add_argument(
+        "--max-queued-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="max summed request bytes in flight per connection (K/M/G suffixes)",
+    )
+    backpressure.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="token-bucket submit rate limit per connection (submits/second)",
+    )
+    backpressure.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="token-bucket burst size; only applies with --rate "
+        "(default: max(1, --rate))",
+    )
+    journal_group = serve_parser.add_argument_group(
+        "job journal (crash recovery; see docs/operations.md)"
+    )
+    journal_group.add_argument(
+        "--journal",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="journal file (default: <cache root>/journal.ndjson)",
+    )
+    journal_group.add_argument(
+        "--no-journal", action="store_true", help="disable the job journal"
+    )
+    journal_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-enqueue jobs the journal records as interrupted, then serve",
     )
     _add_engine_options(serve_parser, run_options=False)
 

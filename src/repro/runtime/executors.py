@@ -25,11 +25,20 @@ contract, same bit-identical results.
 
 Executors never reorder results: job ``i``'s result is always at index
 ``i``, whatever completes first.
+
+Every strategy also honours **cooperative cancellation**: ``execute``
+accepts an optional ``cancel`` :class:`threading.Event` and raises
+:class:`SweepCancelled` at the next job / chunk / batch boundary once it is
+set.  Work that is already running finishes (blocking solver calls cannot
+be interrupted), but nothing further starts — this is what lets the serving
+tier abort a sweep whose every client disconnected without burning CPU to
+the end (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -37,6 +46,27 @@ from repro.runtime.jobs import Job
 
 # progress callbacks receive (jobs done, jobs total, label of the last unit)
 ProgressCallback = Callable[[int, int, str], None]
+
+# cooperative cancellation: executors poll this between work units / chunks
+CancelEvent = threading.Event
+
+
+class SweepCancelled(RuntimeError):
+    """The sweep was cooperatively cancelled before it completed.
+
+    Raised by every executor when the ``cancel`` event passed to
+    :meth:`execute` is set.  Cancellation is *cooperative*: a work unit that
+    is already running finishes (a blocking solver call cannot be interrupted
+    mid-flight), but no further unit starts — the guarantee is "stops within
+    one chunk boundary", not "stops instantly".  Partial results are
+    discarded; nothing is written to the artifact cache for a cancelled
+    sweep.
+    """
+
+
+def _check_cancel(cancel: Optional[CancelEvent], context: str) -> None:
+    if cancel is not None and cancel.is_set():
+        raise SweepCancelled(f"sweep cancelled {context}")
 
 
 def _notify(progress: Optional[ProgressCallback], done: int, total: int, label: str) -> None:
@@ -55,7 +85,12 @@ def _chunked(jobs: Sequence[Job], size: int) -> List[List[Job]]:
 
 
 class SerialExecutor:
-    """Run every job inline, in submission order."""
+    """Run every job inline, in submission order.
+
+    The reference executor: every other strategy must produce the same
+    results in the same order.  ``cancel`` is checked before each job, so a
+    cancelled sweep stops within one job boundary.
+    """
 
     name = "serial"
 
@@ -64,10 +99,12 @@ class SerialExecutor:
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+        cancel: Optional[CancelEvent] = None,
     ) -> List[Any]:
         results: List[Any] = []
         total = len(jobs)
         for index, job in enumerate(jobs):
+            _check_cancel(cancel, f"before job {index}/{total}")
             results.append(job.run())
             _notify(progress, index + 1, total, job.name)
         return results
@@ -104,9 +141,11 @@ class ParallelExecutor:
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+        cancel: Optional[CancelEvent] = None,
     ) -> List[Any]:
+        _check_cancel(cancel, "before dispatch")
         if len(jobs) <= 1 or self.max_workers <= 1:
-            return SerialExecutor().execute(jobs, progress)
+            return SerialExecutor().execute(jobs, progress, cancel=cancel)
         chunksize = self.chunksize or self._default_chunksize(len(jobs))
         chunks = _chunked(jobs, chunksize)
         try:
@@ -114,13 +153,18 @@ class ParallelExecutor:
         except (OSError, ValueError, PermissionError):
             # Sandboxes without working semaphores / fork land here; the
             # sweep still completes, just without the parallel speedup.
-            return SerialExecutor().execute(jobs, progress)
+            return SerialExecutor().execute(jobs, progress, cancel=cancel)
         results: List[Any] = [None] * len(jobs)
         total = len(jobs)
         done = 0
         try:
             futures = {pool.submit(_run_chunk, chunk): index for index, chunk in enumerate(chunks)}
             for future in as_completed(futures):
+                # Checked between completed chunks: a cancelled sweep stops
+                # collecting, revokes the not-yet-started chunks and raises.
+                if cancel is not None and cancel.is_set():
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise SweepCancelled("sweep cancelled between parallel chunks")
                 chunk_index = futures[future]
                 chunk = chunks[chunk_index]
                 chunk_results = future.result()
@@ -134,7 +178,7 @@ class ParallelExecutor:
             # (process limits, seccomp sandboxes): degrade to serial, same
             # as when the pool cannot be created at all.
             pool.shutdown()
-            return SerialExecutor().execute(jobs, progress)
+            return SerialExecutor().execute(jobs, progress, cancel=cancel)
         finally:
             pool.shutdown()
         return results
@@ -161,11 +205,13 @@ class BatchExecutor:
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
+        cancel: Optional[CancelEvent] = None,
     ) -> List[Any]:
         evaluate = batch_fn if batch_fn is not None else _run_chunk
         results: List[Any] = []
         total = len(jobs)
         for batch in _chunked(jobs, self.batch_size):
+            _check_cancel(cancel, "between batches")
             batch_results = list(evaluate(batch))
             if len(batch_results) != len(batch):
                 raise RuntimeError(
@@ -208,12 +254,40 @@ _EXECUTOR_SPECS = {
 def make_executor(name: str, **kwargs: Any):
     """Build an executor by CLI name (``serial``/``parallel``/``batch``/``distributed``).
 
-    ``None``-valued options mean "not set" (so CLI defaults can always be
-    forwarded), but an option the chosen executor does not understand is a
-    hard error: ``make_executor("serial", max_workers=8)`` raises instead of
-    silently ignoring the flag, and invalid values (``batch_size=0``,
-    ``max_workers=0``) propagate the constructor's ``ValueError`` instead of
-    being coerced to a default.
+    Parameters
+    ----------
+    name:
+        Registered strategy name.  ``serial`` takes no options; ``parallel``
+        accepts ``max_workers`` / ``chunksize``; ``batch`` accepts
+        ``batch_size``; ``distributed`` accepts ``workers`` / ``connect`` /
+        ``chunksize`` / ``min_workers`` / ``heartbeat_interval`` /
+        ``heartbeat_timeout`` / ``start_timeout`` (see
+        :class:`repro.cluster.DistributedExecutor`).
+    **kwargs:
+        Options forwarded to the strategy's constructor.  ``None``-valued
+        options mean "not set" (so CLI defaults can always be forwarded).
+
+    Raises
+    ------
+    ValueError
+        For an unknown strategy name, for an option the chosen executor
+        does not understand (``make_executor("serial", max_workers=8)``
+        raises instead of silently ignoring the flag), and for invalid
+        values (``batch_size=0``, ``max_workers=0``), which propagate the
+        constructor's ``ValueError`` instead of being coerced to a default.
+
+    Examples
+    --------
+    >>> make_executor("serial").name
+    'serial'
+    >>> make_executor("parallel", max_workers=2).max_workers
+    2
+    >>> make_executor("batch", batch_size=None).batch_size  # None = default
+    8
+    >>> make_executor("serial", max_workers=8)
+    Traceback (most recent call last):
+        ...
+    ValueError: executor 'serial' does not accept max_workers (it accepts no options)
     """
     try:
         factory, accepted = _EXECUTOR_SPECS[name]

@@ -49,12 +49,41 @@ Client side::
 Concurrent identical requests execute once: the engine's stats (visible via
 ``ServiceClient.status()`` or ``python -m repro cache info`` on the shared
 cache) show a single execution however many clients asked.
+
+The service is hardened for flaky / untrusted-ish traffic (see
+``docs/architecture.md`` and ``docs/operations.md``):
+
+* a ``cancel`` op — or a client disconnect, which implies one — aborts a
+  submitted sweep at the next job/chunk boundary once its *last*
+  subscribed client is gone (single-flighted sweeps keep running while
+  anyone still waits);
+* per-client backpressure (``--max-inflight``, ``--max-queued-bytes``,
+  ``--rate``) answers over-budget submits with a structured ``busy``
+  error (typed client-side as :class:`ServiceBusyError`) instead of
+  accepting unbounded work;
+* a persistent job journal (:mod:`repro.journal`) records every accepted
+  job; ``python -m repro serve --resume`` replays whatever a killed
+  server left interrupted, so resubmitted requests are served from cache,
+  bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from repro.service.client import ServiceClient, ServiceError, SweepResult, run_sweep
-from repro.service.protocol import MAX_MESSAGE_BYTES, PROTOCOL_VERSION, ProtocolError
+from repro.service.client import (
+    ServiceBadRequestError,
+    ServiceBusyError,
+    ServiceCancelledError,
+    ServiceClient,
+    ServiceError,
+    SweepResult,
+    run_sweep,
+)
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
 from repro.service.server import SweepService
 from repro.service.workloads import (
     WorkloadFn,
@@ -65,9 +94,13 @@ from repro.service.workloads import (
 )
 
 __all__ = [
+    "ERROR_CODES",
     "MAX_MESSAGE_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ServiceBadRequestError",
+    "ServiceBusyError",
+    "ServiceCancelledError",
     "ServiceClient",
     "ServiceError",
     "SweepResult",

@@ -14,6 +14,22 @@ Async use::
 
     async with ServiceClient("127.0.0.1", 7463) as client:
         result = await client.submit("dse", {"fast": True})
+
+Server-side failures surface as **typed exceptions** keyed by the stable
+``code`` field of the terminal ``error`` event (see ``docs/protocol.md``),
+so callers can distinguish a transport problem (``ConnectionError``) from
+
+* :class:`ServiceBusyError` — per-client backpressure rejected the
+  request (``retry_after`` hints how long to back off);
+* :class:`ServiceCancelledError` — the request (or its underlying
+  single-flighted sweep) was cancelled;
+* :class:`ServiceBadRequestError` — the request itself was invalid;
+* :class:`ServiceError` — the workload failed (and the base class of all
+  of the above).
+
+A submit in flight can be aborted from a concurrent task with
+:meth:`ServiceClient.cancel`; the awaiting ``submit`` then raises
+:class:`ServiceCancelledError`.
 """
 
 from __future__ import annotations
@@ -21,14 +37,64 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Dict, Optional, Type
 
 from repro.runtime.executors import ProgressCallback
 from repro.service import protocol
 
 
 class ServiceError(RuntimeError):
-    """The server answered a request with a terminal ``error`` event."""
+    """The server answered a request with a terminal ``error`` event.
+
+    Attributes
+    ----------
+    code:
+        The stable error class from the wire (``failed`` for workload
+        failures; subclasses carry their own).
+    retry_after:
+        Backoff hint in seconds (rate-limit rejections only), else None.
+    """
+
+    code = "failed"
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceBusyError(ServiceError):
+    """Per-client backpressure rejected the request (``code="busy"``)."""
+
+    code = "busy"
+
+
+class ServiceCancelledError(ServiceError):
+    """The request or its sweep was cancelled (``code="cancelled"``)."""
+
+    code = "cancelled"
+
+
+class ServiceBadRequestError(ServiceError):
+    """The request itself was invalid (``code="bad-request"``)."""
+
+    code = "bad-request"
+
+
+_ERROR_TYPES: Dict[str, Type[ServiceError]] = {
+    cls.code: cls
+    for cls in (ServiceError, ServiceBusyError, ServiceCancelledError, ServiceBadRequestError)
+}
+
+
+def error_from_event(message: Dict[str, Any]) -> ServiceError:
+    """Build the typed exception for one terminal ``error`` event."""
+    code = str(message.get("code", "failed"))
+    retry_after = message.get("retry_after_seconds")
+    exc_type = _ERROR_TYPES.get(code, ServiceError)
+    return exc_type(
+        str(message.get("error")),
+        retry_after=float(retry_after) if retry_after is not None else None,
+    )
 
 
 @dataclasses.dataclass
@@ -48,6 +114,21 @@ class ServiceClient:
     The client is deliberately sequential: one outstanding request per
     connection (open several clients for concurrency — connections are
     cheap, and the server single-flights identical sweeps anyway).
+
+    Parameters
+    ----------
+    host, port:
+        Service endpoint (the ``serve`` banner prints the bound port).
+
+    Raises
+    ------
+    ServiceError (or a subclass, by error ``code``)
+        When the server reports a terminal error for a request.
+    ConnectionError / OSError
+        For transport-level failures (server gone, connection refused).
+    RuntimeError
+        For client-side misuse: requests before :meth:`connect`, or a
+        second concurrent :meth:`submit` on one connection.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0):
@@ -57,6 +138,7 @@ class ServiceClient:
         self._writer: Optional[asyncio.StreamWriter] = None
         self._request_ids = itertools.count(1)
         self._busy = False
+        self._active_submit: Optional[str] = None
 
     async def connect(self, timeout: Optional[float] = None) -> "ServiceClient":
         """Open the connection; already-connected clients return immediately.
@@ -75,6 +157,7 @@ class ServiceClient:
         return self
 
     async def aclose(self) -> None:
+        """Close the connection (the server cancels any in-flight submit)."""
         if self._writer is not None:
             writer, self._writer, self._reader = self._writer, None, None
             try:
@@ -93,16 +176,26 @@ class ServiceClient:
     # Requests
     # ------------------------------------------------------------------
     async def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one non-streaming request and return its single reply."""
+        """Send one non-streaming request and return its matching reply.
+
+        Frames for other request ids — e.g. the terminal event of an
+        earlier submit that raced a :meth:`cancel` — are skipped, exactly
+        as the submit loop skips them; only a connection-level error
+        (``id`` null) or this request's own reply terminates the wait.
+        """
         reader, writer = self._require_connection()
+        request_id = message.get("id")
         writer.write(protocol.encode_message(message))
         await writer.drain()
-        reply = await protocol.read_message(reader)
-        if reply is None:
-            raise ConnectionError("server closed the connection")
-        if reply.get("event") == "error":
-            raise ServiceError(str(reply.get("error")))
-        return reply
+        while True:
+            reply = await protocol.read_message(reader)
+            if reply is None:
+                raise ConnectionError("server closed the connection")
+            if reply.get("id") != request_id and reply.get("id") is not None:
+                continue  # stale event from an earlier, already-settled request
+            if reply.get("event") == "error":
+                raise error_from_event(reply)
+            return reply
 
     async def ping(self) -> bool:
         """Liveness probe; ``True`` when the server answers ``pong``."""
@@ -110,8 +203,25 @@ class ServiceClient:
         return reply.get("event") == "pong"
 
     async def status(self) -> Dict[str, Any]:
-        """Server status document (engine / cache stats, workloads, ...)."""
+        """Server status document (engine / cache / journal stats, limits)."""
         return await self._roundtrip(protocol.status_request(self._next_id()))
+
+    async def cancel(self) -> bool:
+        """Abort the submit currently in flight on this connection.
+
+        Safe to call from a task running concurrently with :meth:`submit`
+        (the whole point: the submit loop owns the reader, ``cancel`` only
+        writes).  The awaiting ``submit`` raises
+        :class:`ServiceCancelledError` once the server confirms.  Returns
+        ``False`` when no submit is in flight.
+        """
+        request_id = self._active_submit
+        if request_id is None:
+            return False
+        _, writer = self._require_connection()
+        writer.write(protocol.encode_message(protocol.cancel_request(request_id)))
+        await writer.drain()
+        return True
 
     async def submit(
         self,
@@ -121,15 +231,35 @@ class ServiceClient:
     ) -> SweepResult:
         """Run ``workload`` on the server, streaming progress along the way.
 
-        ``on_progress`` receives ``(done, total, label)`` for every progress
-        event.  Raises :class:`ServiceError` when the server reports a
-        terminal error for this request.
+        Parameters
+        ----------
+        workload:
+            Registered workload name (``status()["workloads"]`` lists them).
+        params:
+            JSON-serialisable workload parameters; together with the name
+            they form the single-flight fingerprint.
+        on_progress:
+            Receives ``(done, total, label)`` for every progress event.
+
+        Raises
+        ------
+        ServiceBusyError
+            The server's per-client backpressure rejected the submit
+            (check :attr:`~ServiceError.retry_after`).
+        ServiceCancelledError
+            The request was cancelled — via :meth:`cancel`, or because the
+            single-flighted sweep was cancelled server-side.
+        ServiceBadRequestError
+            Unknown workload or malformed request.
+        ServiceError
+            The workload raised on the server.
         """
         if self._busy:
             raise RuntimeError("one request at a time per ServiceClient connection")
         reader, writer = self._require_connection()
         request_id = self._next_id()
         self._busy = True
+        self._active_submit = request_id
         try:
             writer.write(protocol.encode_message(protocol.submit_request(request_id, workload, params)))
             await writer.drain()
@@ -163,9 +293,10 @@ class ServiceClient:
                         progress_events=progress_events,
                     )
                 elif event == "error":
-                    raise ServiceError(str(message.get("error")))
+                    raise error_from_event(message)
         finally:
             self._busy = False
+            self._active_submit = None
 
     # ------------------------------------------------------------------
     def _next_id(self) -> str:
@@ -188,9 +319,31 @@ def run_sweep(
 ) -> SweepResult:
     """Synchronous one-shot submit for scripts: connect, run, disconnect.
 
-    ``timeout`` bounds the whole call; ``connect_timeout`` additionally
-    enables retry-with-backoff while the server is still binding (see
-    :meth:`ServiceClient.connect`).
+    Parameters
+    ----------
+    host, port:
+        Service endpoint.
+    workload, params, on_progress:
+        As for :meth:`ServiceClient.submit`.
+    timeout:
+        Bound on the whole call (``asyncio.TimeoutError`` on expiry).
+    connect_timeout:
+        Additionally enables retry-with-backoff while the server is still
+        binding (see :meth:`ServiceClient.connect`).
+
+    Raises
+    ------
+    ServiceError (or its typed subclasses)
+        As for :meth:`ServiceClient.submit`.
+
+    Example
+    -------
+    ::
+
+        result = run_sweep("127.0.0.1", 7463, "montecarlo",
+                           {"samples": 1000, "shards": 4},
+                           timeout=600, connect_timeout=10)
+        print(result.payload["sigma_v_blb"])
     """
 
     async def _run() -> SweepResult:

@@ -1,15 +1,24 @@
 """Wire protocol of the sweep service: newline-delimited JSON over TCP.
 
 One message per line, UTF-8 JSON objects, ``\\n`` terminated — trivially
-debuggable with ``nc`` and language-agnostic on the client side.
+debuggable with ``nc`` and language-agnostic on the client side.  The full
+frame-by-frame specification (both listeners, size limits, version rules)
+lives in ``docs/protocol.md``; this docstring is the summary.
 
 Client → server messages carry an ``op``:
 
 ``{"op": "submit", "id": <str>, "workload": <name>, "params": {...}}``
     Run a sweep workload.  ``id`` is a client-chosen request id echoed on
     every event the server emits for this request.
+``{"op": "cancel", "id": <str>}``
+    Abort the in-flight submit with the same ``id`` on this connection.
+    The submit terminates with an ``error`` event (``code="cancelled"``);
+    the underlying sweep stops at the next job/chunk boundary once its
+    *last* subscribed client has cancelled (single-flighted requests keep
+    running while anyone is still waiting).  Closing the connection implies
+    cancelling every in-flight submit on it.
 ``{"op": "status", "id": <str>}``
-    Engine / cache / in-flight statistics.
+    Engine / cache / journal / in-flight statistics.
 ``{"op": "ping", "id": <str>}``
     Liveness probe.
 
@@ -22,7 +31,19 @@ Server → client messages carry an ``event`` and the originating ``id``:
 ``result``     — terminal success; ``payload`` is the workload's return
                  value, ``elapsed_seconds`` the server-side wall time.
 ``error``      — terminal failure (or protocol-level complaint when ``id``
-                 is null).
+                 is null).  Carries a stable ``code``:
+
+                 * ``bad-request`` — the request itself was invalid
+                   (unknown workload, malformed fields, cancel of an
+                   unknown id);
+                 * ``busy``       — rejected by per-client backpressure
+                   (in-flight cap, queued-bytes cap or the token-bucket
+                   rate limit); may carry ``retry_after_seconds``;
+                 * ``cancelled``  — the sweep was cancelled (by this
+                   client, the last subscriber, or server shutdown);
+                 * ``failed``     — the workload raised or its result
+                   could not be serialised.
+
 ``pong`` / ``status`` — replies to the matching ops.
 
 The protocol is intentionally schema-light: :func:`read_message` enforces
@@ -52,7 +73,12 @@ from repro.wire import (  # noqa: F401  (re-exports)
 )
 
 #: Bumped on incompatible wire changes; the server reports it in ``status``.
-PROTOCOL_VERSION = 1
+#: Version 2 added the ``cancel`` op, the ``busy`` backpressure rejection
+#: and the stable ``code`` field on ``error`` events.
+PROTOCOL_VERSION = 2
+
+#: Stable machine-readable failure classes carried by ``error`` events.
+ERROR_CODES = ("bad-request", "busy", "cancelled", "failed")
 
 
 # ----------------------------------------------------------------------
@@ -61,6 +87,11 @@ PROTOCOL_VERSION = 1
 # ----------------------------------------------------------------------
 def submit_request(request_id: str, workload: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     return {"op": "submit", "id": request_id, "workload": workload, "params": dict(params or {})}
+
+
+def cancel_request(request_id: str) -> Dict[str, Any]:
+    """Abort the in-flight submit with this ``id`` on this connection."""
+    return {"op": "cancel", "id": request_id}
 
 
 def status_request(request_id: str) -> Dict[str, Any]:
@@ -88,5 +119,24 @@ def result_event(request_id: str, payload: Any, elapsed_seconds: float) -> Dict[
     }
 
 
-def error_event(request_id: Optional[str], message: str) -> Dict[str, Any]:
-    return {"event": "error", "id": request_id, "error": message}
+def error_event(
+    request_id: Optional[str], message: str, code: str = "failed"
+) -> Dict[str, Any]:
+    """Terminal failure for one request (``code`` from :data:`ERROR_CODES`)."""
+    return {"event": "error", "id": request_id, "error": message, "code": code}
+
+
+def busy_event(
+    request_id: Optional[str],
+    message: str,
+    retry_after_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Backpressure rejection: the per-client budget is exhausted.
+
+    ``retry_after_seconds`` (when the limit is the token-bucket rate) tells
+    a well-behaved client how long to back off before resubmitting.
+    """
+    event = error_event(request_id, message, code="busy")
+    if retry_after_seconds is not None:
+        event["retry_after_seconds"] = retry_after_seconds
+    return event

@@ -18,9 +18,30 @@ Two layers of work deduplication compose:
   (non-overlapping) requests without re-running the solver, exactly as in
   batch mode.
 
+On top of that sits the **resilience layer** (see ``docs/architecture.md``
+for the full data flow):
+
+* **cancellation** — a ``cancel`` op (or a client disconnect, which
+  implies one) detaches that client from its flight; when the *last*
+  subscriber of a flight is gone, the flight's cooperative cancel event
+  fires and the engine aborts the sweep at the next job/chunk boundary
+  (:class:`repro.runtime.SweepCancelled`), revoking distributed chunks
+  through the coordinator.  Single-flighted requests keep running while
+  anyone still waits.
+* **per-client backpressure** — each connection has an in-flight-submit
+  cap, a queued-bytes cap and a token-bucket rate limit; a request over
+  budget is answered with a structured ``busy`` error instead of being
+  queued unboundedly.  Admission happens synchronously in the read loop,
+  so a pipelined burst cannot overshoot the limits.
+* **job journal** — accepted jobs are recorded in a persistent NDJSON
+  journal (:mod:`repro.journal`); :meth:`SweepService.resume` re-enqueues
+  the jobs a killed server left interrupted, so their artifacts land in
+  the cache and returning clients are served bit-identical results.
+
 Every flight runs against a shallow copy of the shared engine whose
-``progress`` callback is that flight's broadcaster; executor, cache and the
-stats counters are shared, so ``status`` reports fleet-wide totals.
+``progress`` callback is that flight's broadcaster and whose
+``cancel_event`` is that flight's; executor, cache and the stats counters
+are shared, so ``status`` reports fleet-wide totals.
 """
 
 from __future__ import annotations
@@ -28,14 +49,61 @@ from __future__ import annotations
 import asyncio
 import copy
 import dataclasses
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Set, Tuple
 
-from repro.runtime import ArtifactCache, SweepEngine, fingerprint
+from repro.journal import JobJournal
+from repro.runtime import ArtifactCache, SweepCancelled, SweepEngine, fingerprint
 from repro.service import progress as progress_mod
 from repro.service import protocol
 from repro.service.workloads import WorkloadFn, get_workload, workload_names
+
+#: Sentinel injected into a subscriber queue when its request is cancelled
+#: (explicit ``cancel`` op or client disconnect).
+_CANCELLED = object()
+
+
+class _TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = rate
+        self.capacity = max(1.0, float(burst))
+        self.tokens = self.capacity
+        self.updated = time.monotonic()
+
+    def try_acquire(self) -> bool:
+        """Take one token; ``False`` when the bucket is empty."""
+        now = time.monotonic()
+        self.tokens = min(self.capacity, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token becomes available."""
+        missing = max(0.0, 1.0 - self.tokens)
+        return missing / self.rate if self.rate > 0 else 1.0
+
+
+class _PendingRequest:
+    """Book-keeping of one admitted submit on one connection."""
+
+    __slots__ = ("queue", "cancelled", "cost")
+
+    def __init__(self, cost: int):
+        self.queue: Optional["asyncio.Queue"] = None
+        self.cancelled = False
+        self.cost = cost
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self.queue is not None:
+            self.queue.put_nowait(_CANCELLED)
 
 
 class _Connection:
@@ -46,6 +114,10 @@ class _Connection:
         self.writer = writer
         self.closed = False
         self._send_lock = asyncio.Lock()
+        # Backpressure state, mutated synchronously on the event loop.
+        self.pending: Dict[str, _PendingRequest] = {}
+        self.queued_bytes = 0
+        self.bucket: Optional[_TokenBucket] = None
 
     async def send(self, message: Dict[str, Any]) -> bool:
         """Write one message; returns ``False`` once the peer is gone."""
@@ -77,9 +149,13 @@ class _Flight:
     """One in-flight sweep shared by every identical concurrent request."""
 
     key: str
+    workload: str
     broadcaster: progress_mod.ProgressBroadcaster
-    task: "asyncio.Task"
+    cancel_event: threading.Event
+    task: Optional["asyncio.Task"] = None
     subscribers: int = 0
+    #: Pinned flights (journal replays) survive losing their subscribers.
+    pinned: bool = False
 
 
 class SweepService:
@@ -98,6 +174,28 @@ class SweepService:
         Worker threads running blocking sweeps; this bounds how many
         *distinct* sweeps make progress concurrently (identical ones
         single-flight onto one thread).
+    max_inflight:
+        Per-connection cap on concurrently in-flight submits; the cap-th
+        + 1 submit is answered ``busy``.  ``None`` disables the cap.
+    max_queued_bytes:
+        Per-connection cap on the summed wire size of in-flight submit
+        requests (a rough proxy for queued work); over-budget submits are
+        answered ``busy``.  ``None`` disables the cap.
+    rate, burst:
+        Token-bucket submit rate limit per connection: sustained ``rate``
+        submits/second with bursts up to ``burst`` (default:
+        ``max(1, rate)``).  Over-rate submits are answered ``busy`` with a
+        ``retry_after_seconds`` hint.  ``rate=None`` disables the limiter.
+    journal:
+        Optional :class:`repro.journal.JobJournal`.  Accepted jobs are
+        recorded ``submitted`` and finished ones ``completed`` /
+        ``failed`` / ``cancelled``; :meth:`resume` replays the pending
+        remainder after a crash.
+
+    Raises
+    ------
+    ValueError
+        For non-positive ``max_workers`` or non-positive limit values.
     """
 
     def __init__(
@@ -106,10 +204,28 @@ class SweepService:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 4,
+        max_inflight: Optional[int] = 8,
+        max_queued_bytes: Optional[int] = None,
+        rate: Optional[float] = None,
+        burst: Optional[int] = None,
+        journal: Optional[JobJournal] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1 (or None to disable)")
+        if max_queued_bytes is not None and max_queued_bytes < 1:
+            raise ValueError("max_queued_bytes must be positive (or None to disable)")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst is not None and burst < 1:
+            raise ValueError("burst must be at least 1")
         self.engine = engine if engine is not None else SweepEngine(cache=ArtifactCache())
+        self.max_inflight = max_inflight
+        self.max_queued_bytes = max_queued_bytes
+        self.rate = rate
+        self.burst = burst
+        self.journal = journal
         self._host = host
         self._port = port
         self._pool = ThreadPoolExecutor(max_workers=max_workers, thread_name_prefix="sweep")
@@ -120,6 +236,22 @@ class SweepService:
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopping = False
+        # Journal writes (open + fsync per record) must never stall the
+        # event loop: they run ordered on a dedicated single-writer thread.
+        # The pending count is tracked in memory so `status` does not
+        # re-parse the journal file per request.
+        self._journal_pool = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="journal")
+            if journal is not None
+            else None
+        )
+        self._journal_pending: Set[str] = (
+            {entry.key for entry in journal.pending()} if journal is not None else set()
+        )
+        # Resilience counters, surfaced through `status`.
+        self.busy_rejections = 0
+        self.jobs_cancelled = 0
+        self.resumed_jobs = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,6 +266,11 @@ class SweepService:
         if self._server is not None:
             return self.address
         self._loop = asyncio.get_running_loop()
+        if self.journal is not None:
+            # One-time startup compaction keeps the append-only file from
+            # growing forever across restarts; run off-loop like all
+            # journal I/O.
+            await self._loop.run_in_executor(self._journal_pool, self.journal.compact)
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
@@ -142,6 +279,46 @@ class SweepService:
         )
         self._port = self._server.sockets[0].getsockname()[1]
         return self.address
+
+    async def resume(self) -> int:
+        """Re-enqueue journal-pending jobs; returns how many were started.
+
+        Call after :meth:`start`.  Every job the journal records as
+        ``submitted`` but not finished — the set a ``SIGKILL`` or power
+        loss leaves behind — is re-run as a subscriber-less *pinned*
+        flight: its artifacts land in the shared cache (and the journal
+        marks it ``completed``), so a returning client that resubmits the
+        same request is served warm, bit-identically to an uninterrupted
+        run.  Jobs whose workload is no longer registered are marked
+        ``failed`` instead of being replayed forever.
+        """
+        if self.journal is None:
+            return 0
+        assert self._loop is not None, "call resume() after start()"
+        entries = await self._loop.run_in_executor(
+            self._journal_pool, self.journal.pending
+        )
+        started = 0
+        for entry in entries:
+            try:
+                workload_fn = get_workload(entry.workload)
+            except KeyError:
+                self._journal_finished(entry.key, "failed")
+                continue
+            # The journal already holds these entries' `submitted` records
+            # (that is how they got here), so replays skip re-recording.
+            _, deduplicated = self._get_or_create_flight(
+                entry.key,
+                entry.workload,
+                workload_fn,
+                entry.params,
+                pinned=True,
+                journal_record=False,
+            )
+            if not deduplicated:
+                started += 1
+        self.resumed_jobs += started
+        return started
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled or :meth:`stop`-ped."""
@@ -157,8 +334,9 @@ class SweepService:
         """Graceful shutdown: stop accepting, drain flights, close clients.
 
         In-flight sweeps run to completion (their artifacts land in the
-        cache and their waiters receive results) — blocking work on a
-        thread cannot be cancelled mid-solve anyway.
+        cache, the journal records them ``completed`` and their waiters
+        receive results) — blocking work on a thread cannot be cancelled
+        mid-solve anyway.
         """
         self._stopping = True
         if self._server is not None:
@@ -166,7 +344,7 @@ class SweepService:
             await self._server.wait_closed()
         if self._flights:
             await asyncio.gather(
-                *(flight.task for flight in list(self._flights.values())),
+                *(flight.task for flight in list(self._flights.values()) if flight.task),
                 return_exceptions=True,
             )
         # Let in-flight request handlers deliver their terminal result /
@@ -178,6 +356,10 @@ class SweepService:
         if self._handler_tasks:
             await asyncio.gather(*list(self._handler_tasks), return_exceptions=True)
         self._pool.shutdown(wait=True)
+        if self._journal_pool is not None:
+            # Flush the queued journal records before declaring the stop
+            # complete (terminal records of the just-drained flights).
+            self._journal_pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -186,6 +368,10 @@ class SweepService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         connection = _Connection(reader, writer)
+        if self.rate is not None:
+            connection.bucket = _TokenBucket(
+                self.rate, self.burst if self.burst is not None else max(1.0, self.rate)
+            )
         self._connections.add(connection)
         task = asyncio.current_task()
         if task is not None:
@@ -197,18 +383,30 @@ class SweepService:
                     message = await protocol.read_message(reader)
                 except protocol.ProtocolError as error:
                     # Framing is broken; the stream cannot be re-synchronised.
-                    await connection.send(protocol.error_event(None, str(error)))
+                    await connection.send(
+                        protocol.error_event(None, str(error), code="bad-request")
+                    )
                     break
                 except (ConnectionError, OSError):
                     break
                 if message is None:
                     break
-                request = asyncio.create_task(self._dispatch(connection, message))
+                # Admission control runs synchronously *here* so a pipelined
+                # burst of submits is counted before any of them executes.
+                rejection = self._admit(connection, message)
+                request = asyncio.create_task(
+                    self._dispatch(connection, message, rejection)
+                )
                 requests.add(request)
                 self._request_tasks.add(request)
                 request.add_done_callback(requests.discard)
                 request.add_done_callback(self._request_tasks.discard)
         finally:
+            # Disconnect implies cancel: wake every in-flight submit of this
+            # connection so it detaches (and, as last subscriber, aborts the
+            # sweep) instead of burning CPU for a client that is gone.
+            for entry in list(connection.pending.values()):
+                entry.cancel()
             if requests:
                 await asyncio.gather(*list(requests), return_exceptions=True)
             self._connections.discard(connection)
@@ -216,27 +414,159 @@ class SweepService:
             if task is not None:
                 self._handler_tasks.discard(task)
 
-    async def _dispatch(self, connection: _Connection, message: Dict[str, Any]) -> None:
+    # ------------------------------------------------------------------
+    # Backpressure admission (synchronous: called from the read loop)
+    # ------------------------------------------------------------------
+    def _admit(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Reserve budget for one submit; returns a rejection event or None.
+
+        Non-submit ops are always admitted.  For submits the method either
+        reserves the per-connection budget (registering the request id in
+        ``connection.pending``) or returns the ``busy`` / ``bad-request``
+        event the dispatcher should answer with.  The reservation is
+        released by :meth:`_release`.
+        """
+        if message.get("op") != "submit":
+            return None
+        request_id = message.get("id")
+        if not isinstance(request_id, str):
+            return protocol.error_event(
+                None, "submit requires a string id", code="bad-request"
+            )
+        if request_id in connection.pending:
+            return protocol.error_event(
+                request_id,
+                f"request id {request_id!r} is already in flight on this connection",
+                code="bad-request",
+            )
+        if (
+            self.max_inflight is not None
+            and len(connection.pending) >= self.max_inflight
+        ):
+            self.busy_rejections += 1
+            return protocol.busy_event(
+                request_id,
+                f"too many in-flight requests on this connection "
+                f"(limit {self.max_inflight}); wait for one to finish",
+            )
+        cost = 0
+        if self.max_queued_bytes is not None:
+            try:
+                cost = len(protocol.encode_message(message))
+            except protocol.ProtocolError:
+                # The inbound frame fit under the limit but re-encoding
+                # does not (ensure_ascii expands non-ASCII text): it could
+                # never be admitted, so reject terminally.
+                return protocol.error_event(
+                    request_id,
+                    "request re-encodes over the frame limit",
+                    code="bad-request",
+                )
+            if cost > self.max_queued_bytes:
+                # This request alone exceeds the budget: it could never be
+                # admitted, so a retryable `busy` would loop a compliant
+                # client forever.  Reject terminally instead.
+                return protocol.error_event(
+                    request_id,
+                    f"request of {cost} bytes exceeds the per-connection budget "
+                    f"of {self.max_queued_bytes} bytes",
+                    code="bad-request",
+                )
+            if connection.queued_bytes + cost > self.max_queued_bytes:
+                self.busy_rejections += 1
+                return protocol.busy_event(
+                    request_id,
+                    f"queued request bytes over budget "
+                    f"({connection.queued_bytes + cost} > {self.max_queued_bytes})",
+                )
+        if connection.bucket is not None and not connection.bucket.try_acquire():
+            self.busy_rejections += 1
+            return protocol.busy_event(
+                request_id,
+                f"submit rate limit exceeded ({self.rate:g}/s)",
+                retry_after_seconds=round(connection.bucket.retry_after(), 3),
+            )
+        connection.pending[request_id] = _PendingRequest(cost)
+        connection.queued_bytes += cost
+        return None
+
+    def _release(self, connection: _Connection, request_id: str) -> None:
+        entry = connection.pending.pop(request_id, None)
+        if entry is not None:
+            connection.queued_bytes -= entry.cost
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        connection: _Connection,
+        message: Dict[str, Any],
+        rejection: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if rejection is not None:
+            await connection.send(rejection)
+            return
         request_id = message.get("id")
         if request_id is not None and not isinstance(request_id, str):
-            await connection.send(protocol.error_event(None, "request id must be a string"))
+            await connection.send(
+                protocol.error_event(None, "request id must be a string", code="bad-request")
+            )
             return
         op = message.get("op")
         if op == "ping":
             await connection.send({"event": "pong", "id": request_id})
         elif op == "status":
             await connection.send(self._status_event(request_id))
+        elif op == "cancel":
+            await self._handle_cancel(connection, request_id)
         elif op == "submit":
-            await self._handle_submit(connection, message, request_id)
+            assert isinstance(request_id, str)  # _admit() guaranteed it
+            try:
+                await self._handle_submit(connection, message, request_id)
+            finally:
+                self._release(connection, request_id)
         else:
             await connection.send(
-                protocol.error_event(request_id, f"unknown op {op!r} (ping/status/submit)")
+                protocol.error_event(
+                    request_id,
+                    f"unknown op {op!r} (ping/status/submit/cancel)",
+                    code="bad-request",
+                )
             )
+
+    async def _handle_cancel(
+        self, connection: _Connection, request_id: Optional[str]
+    ) -> None:
+        """Wake the matching in-flight submit; it answers ``cancelled``."""
+        entry = connection.pending.get(request_id) if request_id else None
+        if entry is None:
+            # Nothing in flight under this id (never was, or its terminal
+            # event already went out — a cancel can lose that race).  The
+            # client skips frames for ids it is no longer waiting on.
+            await connection.send(
+                protocol.error_event(
+                    request_id,
+                    f"no in-flight submit with id {request_id!r} to cancel",
+                    code="bad-request",
+                )
+            )
+            return
+        entry.cancel()
 
     def _status_event(self, request_id: Optional[str]) -> Dict[str, Any]:
         import repro
 
         cache = self.engine.cache
+        journal_info = None
+        if self.journal is not None:
+            journal_info = {
+                "path": str(self.journal.path),
+                "pending": len(self._journal_pending),
+                "resumed": self.resumed_jobs,
+            }
         return {
             "event": "status",
             "id": request_id,
@@ -248,53 +578,99 @@ class SweepService:
             "workloads": workload_names(),
             "in_flight": len(self._flights),
             "connections": len(self._connections),
+            "limits": {
+                "max_inflight": self.max_inflight,
+                "max_queued_bytes": self.max_queued_bytes,
+                "rate": self.rate,
+                "burst": self.burst,
+            },
+            "busy_rejections": self.busy_rejections,
+            "jobs_cancelled": self.jobs_cancelled,
+            "journal": journal_info,
         }
 
     # ------------------------------------------------------------------
-    # Submit / single-flight
+    # Submit / single-flight / cancellation
     # ------------------------------------------------------------------
     async def _handle_submit(
-        self, connection: _Connection, message: Dict[str, Any], request_id: Optional[str]
+        self, connection: _Connection, message: Dict[str, Any], request_id: str
     ) -> None:
-        if not isinstance(request_id, str):
-            await connection.send(protocol.error_event(None, "submit requires a string id"))
-            return
         workload_name = message.get("workload")
         params = message.get("params", {})
         if not isinstance(workload_name, str):
-            await connection.send(protocol.error_event(request_id, "submit requires a workload name"))
+            await connection.send(
+                protocol.error_event(
+                    request_id, "submit requires a workload name", code="bad-request"
+                )
+            )
             return
         if not isinstance(params, dict):
-            await connection.send(protocol.error_event(request_id, "params must be a JSON object"))
+            await connection.send(
+                protocol.error_event(
+                    request_id, "params must be a JSON object", code="bad-request"
+                )
+            )
             return
         try:
             workload_fn = get_workload(workload_name)
         except KeyError as error:
-            await connection.send(protocol.error_event(request_id, str(error)))
+            await connection.send(
+                protocol.error_event(request_id, str(error), code="bad-request")
+            )
             return
 
         key = fingerprint("service-submit", workload_name, params)
-        flight, deduplicated = self._get_or_create_flight(key, workload_fn, params)
+        flight, deduplicated = self._get_or_create_flight(
+            key, workload_name, workload_fn, params
+        )
         flight.subscribers += 1
         queue = flight.broadcaster.subscribe()
+        entry = connection.pending.get(request_id)
+        if entry is not None:
+            entry.queue = queue
+            if entry.cancelled:
+                # The cancel (or disconnect) raced ahead of subscription.
+                queue.put_nowait(_CANCELLED)
+        cancelled = False
         try:
             await connection.send(protocol.accepted_event(request_id, key, deduplicated))
             while True:
                 item = await queue.get()
                 if item is progress_mod.CLOSED:
                     break
-                await connection.send(
+                if item is _CANCELLED:
+                    cancelled = True
+                    break
+                sent = await connection.send(
                     protocol.progress_event(
                         request_id, item["done"], item["total"], item["label"]
                     )
                 )
+                if not sent:
+                    # Peer is gone mid-stream: disconnect implies cancel.
+                    cancelled = True
+                    break
+            if cancelled:
+                await connection.send(
+                    protocol.error_event(
+                        request_id, "request cancelled", code="cancelled"
+                    )
+                )
+                return
             try:
                 payload, elapsed = await asyncio.shield(flight.task)
             except asyncio.CancelledError:
                 raise
+            except SweepCancelled:
+                await connection.send(
+                    protocol.error_event(request_id, "sweep cancelled", code="cancelled")
+                )
+                return
             except Exception as error:  # workload failure -> terminal error event
                 await connection.send(
-                    protocol.error_event(request_id, f"{type(error).__name__}: {error}")
+                    protocol.error_event(
+                        request_id, f"{type(error).__name__}: {error}", code="failed"
+                    )
                 )
                 return
             try:
@@ -305,40 +681,132 @@ class SweepService:
                 # a silent death here would hang the client forever.
                 await connection.send(
                     protocol.error_event(
-                        request_id, f"result payload not serialisable: {error}"
+                        request_id,
+                        f"result payload not serialisable: {error}",
+                        code="failed",
                     )
                 )
         finally:
             flight.broadcaster.unsubscribe(queue)
             flight.subscribers -= 1
+            if cancelled:
+                self._maybe_cancel_flight(flight)
+
+    def _maybe_cancel_flight(self, flight: _Flight) -> None:
+        """Abort a flight whose last subscriber cancelled or disconnected.
+
+        Pinned flights (journal replays) are exempt: they exist precisely
+        to finish without a client watching.
+        """
+        if (
+            flight.pinned
+            or flight.subscribers > 0
+            or flight.task is None
+            or flight.task.done()
+        ):
+            return
+        flight.cancel_event.set()
+        self.jobs_cancelled += 1
+        # Drop it from the single-flight table immediately so an identical
+        # resubmit starts a fresh sweep instead of joining a dying one.
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
 
     def _get_or_create_flight(
-        self, key: str, workload_fn: WorkloadFn, params: Dict[str, Any]
+        self,
+        key: str,
+        workload_name: str,
+        workload_fn: WorkloadFn,
+        params: Dict[str, Any],
+        pinned: bool = False,
+        journal_record: bool = True,
     ) -> Tuple[_Flight, bool]:
         flight = self._flights.get(key)
         if flight is not None:
+            if pinned:
+                flight.pinned = True
             return flight, True
         assert self._loop is not None, "service not started"
         broadcaster = progress_mod.ProgressBroadcaster(self._loop)
         # Per-flight engine view: shared executor / cache / stats, private
-        # progress sink, so concurrent sweeps cannot cross their streams.
+        # progress sink and cancel event, so concurrent sweeps cannot cross
+        # their streams and cancelling one never aborts another.
+        cancel_event = threading.Event()
         engine_view = copy.copy(self.engine)
         engine_view.progress = broadcaster.callback
-        task = asyncio.ensure_future(
-            self._run_flight(key, workload_fn, params, engine_view, broadcaster)
+        engine_view.cancel_event = cancel_event
+        flight = _Flight(
+            key=key,
+            workload=workload_name,
+            broadcaster=broadcaster,
+            cancel_event=cancel_event,
+            pinned=pinned,
         )
-        # A flight whose every waiter disconnected must not warn about an
-        # unretrieved exception; the failure is also visible in `status`.
-        task.add_done_callback(
-            lambda t: t.exception() if not t.cancelled() else None
+        if journal_record:
+            self._journal_submitted(key, workload_name, params)
+        flight.task = asyncio.ensure_future(
+            self._run_flight(flight, workload_fn, params, engine_view, broadcaster)
         )
-        flight = _Flight(key=key, broadcaster=broadcaster, task=task)
+        flight.task.add_done_callback(
+            lambda task, flight=flight: self._on_flight_done(flight, task)
+        )
         self._flights[key] = flight
         return flight, False
 
+    def _on_flight_done(self, flight: _Flight, task: "asyncio.Task") -> None:
+        """Journal the terminal status; also retrieves the exception so a
+        flight whose every waiter disconnected never warns about an
+        unretrieved exception (the failure stays visible in ``status``)."""
+        if task.cancelled():
+            status = "cancelled"
+        else:
+            error = task.exception()
+            if error is None:
+                status = "completed"
+            elif isinstance(error, SweepCancelled):
+                status = "cancelled"
+            else:
+                status = "failed"
+        if self._flights.get(flight.key) not in (None, flight):
+            # A cancelled-then-resubmitted key: a newer flight now owns
+            # this key's journal lifecycle, and our terminal record would
+            # erase *its* pending entry — a crash before it finishes would
+            # then not be replayed by --resume.  The newer flight writes
+            # the lifecycle's terminal record instead.
+            return
+        self._journal_finished(flight.key, status)
+
+    def _journal_submitted(
+        self, key: str, workload: str, params: Dict[str, Any]
+    ) -> None:
+        self._journal_pending.add(key)
+        self._journal_write("record_submitted", key, workload, params)
+
+    def _journal_finished(self, key: str, status: str) -> None:
+        self._journal_pending.discard(key)
+        self._journal_write("record_finished", key, status)
+
+    def _journal_write(self, method: str, *args: Any) -> None:
+        """Ordered, off-loop journal append that can never break serving."""
+        if self.journal is None or self._journal_pool is None:
+            return
+
+        def _write(journal=self.journal):
+            try:
+                getattr(journal, method)(*args)
+            except OSError:
+                # A full / read-only disk must not break serving; the
+                # journal just loses this record.
+                pass
+
+        try:
+            self._journal_pool.submit(_write)
+        except RuntimeError:
+            pass  # pool already shut down (late flight during stop)
+
     async def _run_flight(
         self,
-        key: str,
+        flight: _Flight,
         workload_fn: WorkloadFn,
         params: Dict[str, Any],
         engine_view: SweepEngine,
@@ -352,5 +820,6 @@ class SweepService:
             )
             return payload, time.perf_counter() - start
         finally:
-            self._flights.pop(key, None)
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
             broadcaster.close()
