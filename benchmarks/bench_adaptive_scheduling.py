@@ -1,0 +1,225 @@
+"""Adaptive-scheduler benchmark: a heterogeneous pool with one straggler.
+
+The measurement behind the adaptive policy's design claim
+(``docs/scheduling.md``): on a pool where one worker is much slower than
+the rest, **static chunking finishes at the straggler's pace** while the
+adaptive scheduler (``chunk_window``) sizes the slow worker's chunks down,
+splits its in-flight backlog and keeps the fast workers saturated — so the
+adaptive makespan must beat the static one.  Both runs must reproduce the
+serial result bit-for-bit, whatever the resize/split/steal history.
+
+The pool is three normal local workers plus one deliberately slowed worker
+(``python -m repro worker --throttle``, the chaos knob added for exactly
+this purpose).  The static run uses one chunk per worker — the classic
+static shard, where nothing can rebalance the straggler's chunk; the
+adaptive run starts from 1-job probes and lets the window policy take over.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_scheduling.py           # full
+    PYTHONPATH=src python benchmarks/bench_adaptive_scheduling.py --smoke   # CI
+
+``--smoke`` shrinks the job count and skips the speedup assertion (CI
+containers may have too few cores for the pool to show parallel headroom);
+completion and bit-identity are always asserted.  The speedup assertion is
+additionally gated on >= 4 cores, matching ``bench_cluster_scaling.py``.
+
+Results are printed and written to
+``benchmarks/results/adaptive_scheduling.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster import DistributedExecutor
+from repro.cluster.executor import spawn_worker_process
+from repro.runtime import Job, SerialExecutor
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+_ENTROPY = 20260728
+_JOB_SECONDS = 0.012  # per-job work on a normal worker
+_THROTTLE = 0.10      # extra per-job delay on the straggler
+_WINDOW = 0.15        # adaptive wall-time window
+_START_TIMEOUT = 120.0
+
+
+def _timed_value(entropy: int, index: int, seconds: float) -> float:
+    """One benchmark job: deterministic value, tunable wall time.
+
+    The value depends only on ``(entropy, index)`` — the sleep models the
+    solver cost, so every executor (and every dispatch history) must
+    reproduce the exact same floats.
+    """
+    time.sleep(seconds)
+    child = np.random.SeedSequence(entropy).spawn(index + 1)[index]
+    return float(np.random.default_rng(child).standard_normal())
+
+
+def _jobs(count: int, seconds: float) -> List[Job]:
+    return [
+        Job(fn=_timed_value, args=(_ENTROPY, index, seconds), name=f"bench[{index}]")
+        for index in range(count)
+    ]
+
+
+def _spawn_straggler(address: Tuple[str, int], throttle: float) -> subprocess.Popen:
+    """Join one deliberately slowed worker to a running cluster endpoint."""
+    host, port = address
+    return spawn_worker_process(
+        f"{host}:{port}",
+        name="straggler",
+        throttle=throttle,
+        connect_timeout=_START_TIMEOUT,
+    )
+
+
+def _run_pool(
+    job_count: int,
+    chunk_window: Optional[float],
+    chunksize: Optional[int],
+    fast_workers: int = 3,
+) -> Tuple[List[float], float, dict]:
+    """Run the sweep on a fresh pool of fast workers + one straggler.
+
+    Returns ``(results, makespan_seconds, coordinator_stats)``.
+    """
+    executor = DistributedExecutor(
+        workers=fast_workers,
+        chunksize=chunksize,
+        chunk_window=chunk_window,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=5.0,
+        start_timeout=_START_TIMEOUT,
+    )
+    executor.start()
+    straggler: Optional[subprocess.Popen] = None
+    try:
+        if executor._fallback is not None:
+            raise RuntimeError("cluster cannot start in this environment")
+        assert executor.coordinator is not None
+        straggler = _spawn_straggler(executor.address, _THROTTLE)
+        executor.wait_for_workers(fast_workers + 1, timeout=_START_TIMEOUT)
+        start = time.perf_counter()
+        results = executor.execute(_jobs(job_count, _JOB_SECONDS))
+        makespan = time.perf_counter() - start
+        stats = executor.status()["stats"]
+    finally:
+        executor.close()
+        if straggler is not None and straggler.poll() is None:
+            straggler.terminate()
+            try:
+                straggler.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                straggler.kill()
+    return results, makespan, stats
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    """Run static vs adaptive on the straggler pool; returns the record."""
+    cores = os.cpu_count() or 1
+    fast_workers = 3
+    pool_size = fast_workers + 1
+    job_count = 24 if smoke else 48
+
+    serial_start = time.perf_counter()
+    reference = SerialExecutor().execute(_jobs(job_count, _JOB_SECONDS))
+    serial_seconds = time.perf_counter() - serial_start
+
+    # Static chunking at one chunk per worker: the straggler's chunk is
+    # dispatched whole and nothing can rebalance it.
+    static_results, static_seconds, static_stats = _run_pool(
+        job_count, chunk_window=None, chunksize=max(1, job_count // pool_size)
+    )
+    # Adaptive: 1-job probes, then throughput-sized chunks + straggler splits.
+    adaptive_results, adaptive_seconds, adaptive_stats = _run_pool(
+        job_count, chunk_window=_WINDOW, chunksize=None
+    )
+
+    assert static_results == reference, "static pool diverged from serial"
+    assert adaptive_results == reference, "adaptive pool diverged from serial"
+
+    speedup = static_seconds / max(adaptive_seconds, 1e-9)
+    record = {
+        "cores": cores,
+        "smoke": smoke,
+        "job_count": job_count,
+        "job_seconds": _JOB_SECONDS,
+        "throttle": _THROTTLE,
+        "chunk_window": _WINDOW,
+        "pool": f"{fast_workers} fast + 1 straggler",
+        "serial_seconds": serial_seconds,
+        "static_seconds": static_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup_static_to_adaptive": speedup,
+        "static_stats": static_stats,
+        "adaptive_stats": adaptive_stats,
+    }
+
+    lines = [
+        "adaptive scheduling: straggler pool makespan "
+        f"({job_count} jobs x {_JOB_SECONDS * 1e3:.0f} ms, "
+        f"straggler +{_THROTTLE * 1e3:.0f} ms/job)",
+        f"  cores={cores}  pool={record['pool']}",
+        f"  serial               : {serial_seconds:.3f} s",
+        f"  static (1 chunk/worker): {static_seconds:.3f} s "
+        f"({static_stats['chunks_dispatched']} chunks)",
+        f"  adaptive (window {_WINDOW:g} s): {adaptive_seconds:.3f} s "
+        f"({adaptive_stats['chunks_dispatched']} chunks, "
+        f"{adaptive_stats['chunks_split']} split, "
+        f"{adaptive_stats['chunks_stolen']} stolen)",
+        f"  makespan speedup     : {speedup:.2f}x (bit-identical results)",
+    ]
+    print("\n" + "\n".join(lines))
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "adaptive_scheduling.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    if cores >= 4 and not smoke:
+        assert speedup > 1.0, (
+            f"adaptive policy must beat static chunking on a straggler pool "
+            f"({cores} cores), got {speedup:.2f}x"
+        )
+    return record
+
+
+def test_adaptive_beats_static():
+    """Pytest entry point: full measurement on >=4 cores, smoke otherwise."""
+    run_benchmark(smoke=(os.cpu_count() or 1) < 4)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Adaptive vs static cluster scheduling on a straggler pool"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced job count; skip the speedup assertion (CI containers)",
+    )
+    args = parser.parse_args(argv)
+    run_benchmark(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    # Re-enter through the importable module name: job functions must not
+    # live in ``__main__`` or the worker processes could not unpickle them.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import bench_adaptive_scheduling as _module
+
+    if _module.__name__ == "__main__":  # pragma: no cover - defensive
+        raise SystemExit("re-import failed; run via pytest instead")
+    sys.exit(_module.main(sys.argv[1:]))

@@ -63,6 +63,6 @@ runtime unconditionally and the modelling layers only lazily, per
 workload.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["__version__"]

@@ -21,12 +21,17 @@ dispatch schedule, work stealing or worker deaths along the way.
 Layout::
 
     protocol.py     cluster wire messages + pickled job/result transport
-    coordinator.py  Coordinator: registration, heartbeats, chunk dispatch,
-                    work stealing, retry-on-worker-death, index merge
+    coordinator.py  Coordinator: registration, heartbeats, span queues,
+                    adaptive chunk sizing (EWMA telemetry x chunk_window),
+                    straggler splits, work stealing, retry-on-worker-death,
+                    index merge
     worker.py       Worker: long-lived job runner (python -m repro worker)
     executor.py     DistributedExecutor: the make_executor("distributed")
                     strategy owning the coordinator + local worker pool
     control.py      status/ping helpers (python -m repro cluster status)
+
+Per-worker throughput accounting lives in :mod:`repro.telemetry`; the
+scheduling policy it drives is documented in ``docs/scheduling.md``.
 
 Quickstart — a local four-worker pool behind the CLI::
 

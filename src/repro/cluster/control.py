@@ -69,9 +69,13 @@ def format_status(status: Dict[str, Any]) -> str:
     """Render a status document as the human-readable ``cluster status`` text."""
     host, port = status.get("address", ["?", "?"])
     stats = status.get("stats", {})
+    window = status.get("chunk_window")
+    scheduling = (
+        f"adaptive (window {window:g} s)" if window is not None else "static chunks"
+    )
     lines = [
         f"cluster at {host}:{port} — protocol {status.get('protocol')}, "
-        f"repro {status.get('version')}",
+        f"repro {status.get('version')}, scheduling {scheduling}",
         f"  workers: {status.get('alive_workers', 0)} alive, "
         f"{status.get('total_slots', 0)} slots, "
         f"{status.get('runs_in_flight', 0)} runs in flight, "
@@ -79,16 +83,27 @@ def format_status(status: Dict[str, Any]) -> str:
         f"  totals : {stats.get('jobs_done', 0)} jobs done, "
         f"{stats.get('chunks_completed', 0)}/{stats.get('chunks_dispatched', 0)} chunks, "
         f"{stats.get('chunks_stolen', 0)} stolen, "
+        f"{stats.get('chunks_split', 0)} split "
+        f"({stats.get('splits_requested', 0)} requested), "
         f"{stats.get('chunks_retried', 0)} retried, "
         f"{stats.get('workers_lost', 0)} workers lost",
     ]
+    stragglers = set(status.get("stragglers") or [])
     for worker in status.get("workers", []):
         state = "alive" if worker.get("alive") else "dead"
+        throughput = worker.get("throughput_jobs_per_s")
+        speed = (
+            f", ~{throughput:.2f} jobs/s" if isinstance(throughput, float) else ""
+        )
+        lag = " (straggler)" if worker.get("id") in stragglers else ""
+        # Queue depth is reported in *jobs*: since protocol v3 the queues
+        # hold spans (arbitrarily large reservoirs), so a span count would
+        # say nothing about load.
         lines.append(
             f"  worker {worker.get('id')} ({worker.get('name')}, pid {worker.get('pid')}): "
             f"{state}, {worker.get('slots')} slot(s), "
             f"{worker.get('jobs_done', 0)} jobs done, "
-            f"{worker.get('inflight_chunks', 0)} in flight, "
-            f"{worker.get('queued_chunks', 0)} queued"
+            f"{worker.get('inflight_jobs', 0)} in flight, "
+            f"{worker.get('queued_jobs', 0)} queued{speed}{lag}"
         )
     return "\n".join(lines)

@@ -8,22 +8,36 @@ different code must never compute shards) and then receive chunks of pickled
 :class:`~repro.runtime.jobs.Job` units.
 
 Scheduling model (the ARTIQ-style long-lived-worker pattern, adapted to
-sweeps):
+sweeps; the full design rationale lives in ``docs/scheduling.md``):
 
-* every :meth:`run` shards its job list into contiguous chunks, which are
-  dealt round-robin into per-worker queues;
+* every :meth:`run` splits its job list into contiguous **spans** of
+  undispatched work, dealt into per-worker queues; chunks are cut from a
+  span's front only *at dispatch time*, which is what lets the adaptive
+  policy size them per worker;
+* with a ``chunk_window`` configured, each worker's next chunk is sized to
+  ``EWMA throughput x window`` (:mod:`repro.telemetry`) — a fast worker
+  gets big chunks, a slow one small chunks, and both come back for more on
+  the same wall-time cadence.  Without a window, chunks are the static
+  ``chunksize`` the run was submitted with (the pre-v3 behaviour);
 * each worker holds at most ``slots`` chunks in flight; the scheduler tops
-  it up from its own queue first and otherwise **steals half of the longest
-  queue** in the cluster, so a fast (or late-joining) worker drains the
-  backlog of a slow one;
+  it up from its own queue first and otherwise **steals half of the
+  longest backlog** (by job count) in the cluster, so a fast (or
+  late-joining) worker drains the queue of a slow one;
+* a **straggler** — a worker whose in-flight chunk has aged past the split
+  threshold while other workers sit idle — is sent a ``split`` frame
+  (protocol v3): it keeps the jobs it already started, acks the kept count
+  (``split_ack``), and the coordinator reassigns the unstarted tail to the
+  idle workers.  The straggler's eventual ``chunk_done`` is a
+  partial-completion ack covering only the kept prefix;
 * a worker that dies — its connection drops or its heartbeat goes silent —
-  has its queued *and* in-flight chunks reassigned to the survivors, with a
+  has its queued *and* in-flight work reassigned to the survivors, with a
   bounded retry count so a chunk that kills every worker cannot loop
   forever;
 * results are merged **by global job index**, so whatever the dispatch
-  schedule, chunk sizing or steal pattern, the returned list is bit-identical
-  to a serial run (the same guarantee every in-process executor gives);
-* a run whose ``cancel_event`` fires is **revoked**: queued chunks are
+  schedule, chunk sizing, split or steal history, the returned list is
+  bit-identical to a serial run (the same guarantee every in-process
+  executor gives);
+* a run whose ``cancel_event`` fires is **revoked**: queued spans are
   purged, workers holding in-flight chunks receive ``cancel`` events and
   stop at their next job boundary, and the run fails with
   :class:`~repro.runtime.SweepCancelled` at the submitting call site.
@@ -50,6 +64,12 @@ from repro import wire
 from repro.cluster import protocol
 from repro.runtime.executors import CancelEvent, ProgressCallback, SweepCancelled
 from repro.runtime.jobs import Job, code_version
+from repro.telemetry import TelemetryBook, WorkerStats
+
+#: Age multiplier before an in-flight chunk is split: a chunk sized to the
+#: window that is still running after ``SPLIT_AGE_FACTOR x window`` seconds
+#: while other workers idle marks its worker as a straggler.
+SPLIT_AGE_FACTOR = 1.5
 
 
 class ClusterError(RuntimeError):
@@ -67,10 +87,18 @@ class WorkerInfo:
     alive: bool
     connected_at: float
     last_seen: float
-    queued_chunks: int
+    #: Spans (re-chunkable job ranges) in this worker's queue.  Protocol
+    #: v3 renamed the old ``queued_chunks`` field: queues no longer hold
+    #: chunks, and a span count says nothing about backlog — read
+    #: ``queued_jobs`` for load.
+    queued_spans: int
     inflight_chunks: int
     chunks_done: int
     jobs_done: int
+    #: Undispatched jobs waiting in this worker's queue — the load signal.
+    queued_jobs: int = 0
+    #: Jobs currently dispatched to the worker (in-flight chunks).
+    inflight_jobs: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -81,12 +109,24 @@ class _Run:
 
     _ids = itertools.count(1)
 
-    def __init__(self, jobs: Sequence[Job], progress: Optional[ProgressCallback]):
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        progress: Optional[ProgressCallback],
+        chunksize: int,
+    ):
         self.id = f"run-{next(self._ids)}"
-        self.total = len(jobs)
-        self.results: List[Any] = [None] * len(jobs)
-        self.remaining = len(jobs)
+        self.jobs: List[Job] = list(jobs)
+        self.total = len(self.jobs)
+        self.chunksize = max(1, int(chunksize))
+        self.results: List[Any] = [None] * self.total
+        self.remaining = self.total
         self.progress = progress
+        #: Frame-limit cap on this run's chunk sizes, learned when a cut
+        #: has to be refitted (halved).  Per-run: the limit is a property
+        #: of this run's job payload size, so one fat-job sweep must not
+        #: cap a later tiny-job sweep on the same coordinator.
+        self.max_chunk_jobs: Optional[int] = None
         self.future: "asyncio.Future[List[Any]]" = asyncio.get_running_loop().create_future()
 
     @property
@@ -97,27 +137,69 @@ class _Run:
         if not self.future.done():
             self.future.set_exception(error)
 
-    def complete_chunk(self, chunk: "_Chunk", results: List[Any], label: str) -> None:
+    def complete_chunk(self, chunk: "_Chunk", results: List[Any]) -> None:
         if self.done:
             return
         for index, value in zip(chunk.indices, results):
             self.results[index] = value
-        self.remaining -= len(chunk.indices)
-        if self.progress is not None:
-            self.progress(self.total - self.remaining, self.total, label)
+        self.remaining -= len(results)
+        if results and self.progress is not None:
+            # Label by index, not chunk.jobs[-1]: the property would copy
+            # the whole (possibly huge, window-sized) job slice per tick.
+            self.progress(
+                self.total - self.remaining, self.total, self.jobs[chunk.stop - 1].name
+            )
         if self.remaining == 0:
             self.future.set_result(self.results)
 
 
-class _Chunk:
-    """A contiguous slice of one run's jobs, dispatched as a unit."""
+class _Span:
+    """A contiguous, undispatched slice ``[start, stop)`` of one run's jobs.
 
-    def __init__(self, run: _Run, chunk_id: str, jobs: List[Job], indices: List[int]):
+    Queues hold spans, not chunks: the chunk a worker actually receives is
+    cut from a span's front at dispatch time, sized by the scheduling
+    policy in force at that moment.
+    """
+
+    __slots__ = ("run", "start", "stop", "attempts")
+
+    def __init__(self, run: _Run, start: int, stop: int, attempts: int = 0):
+        self.run = run
+        self.start = start
+        self.stop = stop
+        self.attempts = attempts
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+class _Chunk:
+    """A dispatched slice of one run's jobs, in flight on one worker."""
+
+    __slots__ = ("run", "id", "start", "stop", "attempts", "dispatched_at", "split_requested")
+
+    def __init__(self, run: _Run, chunk_id: str, start: int, stop: int, attempts: int):
         self.run = run
         self.id = chunk_id
-        self.jobs = jobs
-        self.indices = indices
-        self.attempts = 0
+        self.start = start
+        self.stop = stop
+        self.attempts = attempts
+        self.dispatched_at = 0.0
+        self.split_requested = False
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def jobs(self) -> List[Job]:
+        return self.run.jobs[self.start : self.stop]
+
+    @property
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+    def to_span(self) -> _Span:
+        return _Span(self.run, self.start, self.stop, self.attempts)
 
 
 class _WorkerLink:
@@ -139,11 +221,21 @@ class _WorkerLink:
         self.alive = True
         self.connected_at = time.time()
         self.last_seen = time.time()
-        self.queue: Deque[_Chunk] = deque()
+        self.queue: Deque[_Span] = deque()
         self.inflight: Dict[str, _Chunk] = {}
         self.chunks_done = 0
         self.jobs_done = 0
         self._send_lock = asyncio.Lock()
+
+    def queued_jobs(self) -> int:
+        return sum(len(span) for span in self.queue)
+
+    def inflight_jobs(self) -> int:
+        return sum(len(chunk) for chunk in self.inflight.values())
+
+    def load(self) -> int:
+        """Jobs this worker is responsible for (queued + in flight)."""
+        return self.queued_jobs() + self.inflight_jobs()
 
     async def send(self, message: Dict[str, Any]) -> bool:
         """Write one message; ``False`` once the peer is gone."""
@@ -172,10 +264,12 @@ class _WorkerLink:
             alive=self.alive,
             connected_at=self.connected_at,
             last_seen=self.last_seen,
-            queued_chunks=len(self.queue),
+            queued_spans=len(self.queue),
             inflight_chunks=len(self.inflight),
             chunks_done=self.chunks_done,
             jobs_done=self.jobs_done,
+            queued_jobs=self.queued_jobs(),
+            inflight_jobs=self.inflight_jobs(),
         )
 
 
@@ -201,6 +295,14 @@ class Coordinator:
         How long dispatched work may sit orphaned with *no* connected
         worker before the owning runs fail (covers workers that never
         start, e.g. a typo'd ``--connect`` address).
+    chunk_window:
+        Target wall-time per dispatched chunk, in seconds — enabling the
+        **adaptive scheduler**: each worker's next chunk is sized to its
+        measured EWMA throughput times this window, and in-flight chunks
+        of detected stragglers are split so idle workers pick up the
+        unstarted tail.  ``None`` (default) keeps static per-run
+        chunksizes and disables splitting (pre-v3 behaviour).  See
+        ``docs/scheduling.md`` for tuning guidance.
     """
 
     def __init__(
@@ -211,19 +313,24 @@ class Coordinator:
         heartbeat_timeout: float = 5.0,
         max_chunk_retries: int = 3,
         worker_wait_timeout: float = 30.0,
+        chunk_window: Optional[float] = None,
     ):
         if heartbeat_interval <= 0 or heartbeat_timeout <= 0:
             raise ValueError("heartbeat interval/timeout must be positive")
         if heartbeat_timeout <= heartbeat_interval:
             raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if chunk_window is not None and chunk_window <= 0:
+            raise ValueError("chunk_window must be positive (or None for static chunks)")
         self._host = host
         self._port = port
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.max_chunk_retries = max_chunk_retries
         self.worker_wait_timeout = worker_wait_timeout
+        self.chunk_window = chunk_window
+        self.telemetry = TelemetryBook()
         self._links: Dict[str, _WorkerLink] = {}
-        self._orphans: Deque[_Chunk] = deque()
+        self._orphans: Deque[_Span] = deque()
         self._orphaned_since: Optional[float] = None
         self._runs: Dict[str, _Run] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -241,6 +348,9 @@ class Coordinator:
             "chunks_stolen": 0,
             "chunks_retried": 0,
             "chunks_cancelled": 0,
+            "chunks_split": 0,
+            "splits_requested": 0,
+            "chunks_refitted": 0,
             "jobs_done": 0,
             "workers_lost": 0,
             "duplicate_results": 0,
@@ -312,6 +422,10 @@ class Coordinator:
     ) -> List[Any]:
         """Execute ``jobs`` across the cluster; results in submission order.
 
+        ``chunksize`` is the static chunk size — and, under an adaptive
+        ``chunk_window``, the probe size used for a worker whose
+        throughput has not been measured yet.
+
         ``progress`` fires on the coordinator's event loop as chunks
         complete, reporting ``(jobs done, jobs total, last job label)`` —
         callers bridging to other threads must pass a thread-safe callback
@@ -319,27 +433,17 @@ class Coordinator:
 
         ``cancel_event`` (a :class:`threading.Event`, settable from any
         thread) enables cooperative cancellation: a watcher polls it and,
-        once set, revokes the run's queued chunks, tells workers to drop
-        its in-flight ones (``cancel`` events) and fails the run with
+        once set, revokes the run's queued spans, tells workers to drop
+        its in-flight chunks (``cancel`` events) and fails the run with
         :class:`~repro.runtime.SweepCancelled`.
         """
         jobs = list(jobs)
         if not jobs:
             return []
-        chunksize = max(1, int(chunksize))
-        run = _Run(jobs, progress)
+        run = _Run(jobs, progress, chunksize)
         self._runs[run.id] = run
         self.stats["runs"] += 1
-        chunks = [
-            _Chunk(
-                run,
-                f"{run.id}/c{next(self._chunk_ids)}",
-                jobs[start : start + chunksize],
-                list(range(start, min(start + chunksize, len(jobs)))),
-            )
-            for start in range(0, len(jobs), chunksize)
-        ]
-        self._distribute(chunks)
+        self._distribute(self._initial_spans(run))
         self._kick.set()
         watcher: Optional["asyncio.Task"] = None
         if cancel_event is not None:
@@ -353,6 +457,24 @@ class Coordinator:
             self._runs.pop(run.id, None)
             self._drop_run_chunks(run)
 
+    def _initial_spans(self, run: _Run) -> List[_Span]:
+        """Deal a fresh run as contiguous near-equal spans, one per worker.
+
+        Contiguity matters: dispatch cuts chunks off a span's front, so a
+        span is an arbitrarily re-chunkable reservoir, and the index-based
+        merge keeps the result order independent of how it was carved up.
+        """
+        parts = max(1, min(self.worker_count(), run.total))
+        spans: List[_Span] = []
+        base, extra = divmod(run.total, parts)
+        start = 0
+        for index in range(parts):
+            size = base + (1 if index < extra else 0)
+            if size:
+                spans.append(_Span(run, start, start + size))
+                start += size
+        return spans
+
     async def _watch_cancel(self, run: _Run, cancel_event: CancelEvent) -> None:
         """Poll ``cancel_event``; revoke the run's work once it fires."""
         while not run.done:
@@ -362,9 +484,9 @@ class Coordinator:
             await asyncio.sleep(min(0.05, self.heartbeat_interval))
 
     async def cancel_run(self, run: _Run) -> None:
-        """Abort one run: revoke queued chunks, drop in-flight ones.
+        """Abort one run: revoke queued spans, drop in-flight chunks.
 
-        Queued chunks (per-worker backlogs and the orphan pool) are purged;
+        Queued spans (per-worker backlogs and the orphan pool) are purged;
         every worker holding an in-flight chunk of this run receives a
         ``cancel`` event and stops at its next job boundary.  The run's
         future fails with :class:`~repro.runtime.SweepCancelled`, which
@@ -388,54 +510,141 @@ class Coordinator:
         self._kick.set()
 
     # ------------------------------------------------------------------
-    # Scheduling: per-worker queues + work stealing
+    # Scheduling: per-worker span queues + work stealing + adaptive cuts
     # ------------------------------------------------------------------
     def _alive_links(self) -> List[_WorkerLink]:
         return [link for link in self._links.values() if link.alive]
 
-    def _distribute(self, chunks: Sequence[_Chunk]) -> None:
-        """Deal chunks round-robin into the shortest worker queues."""
+    def _distribute(
+        self, spans: Sequence[_Span], exclude: Optional[_WorkerLink] = None
+    ) -> None:
+        """Deal spans onto the least-loaded workers (by job count).
+
+        ``exclude`` (when other workers exist) keeps a span away from one
+        worker — a split's reclaimed tail must not land straight back on
+        the straggler that just handed it over, whose zero-length head
+        chunk would otherwise tie for least-loaded.
+        """
         links = self._alive_links()
+        if exclude is not None and len(links) > 1:
+            links = [link for link in links if link is not exclude]
         if not links:
-            self._orphans.extend(chunks)
+            self._orphans.extend(span for span in spans if len(span))
             if self._orphans and self._orphaned_since is None:
                 self._orphaned_since = time.time()
             return
-        for chunk in chunks:
-            target = min(links, key=lambda link: len(link.queue) + len(link.inflight))
-            target.queue.append(chunk)
+        for span in spans:
+            if not len(span):
+                continue
+            target = min(links, key=_WorkerLink.load)
+            target.queue.append(span)
 
-    def _steal_for(self, thief: _WorkerLink) -> Optional[_Chunk]:
-        """Steal half the longest queue in the cluster for an idle worker."""
+    def _steal_for(self, thief: _WorkerLink) -> Optional[_Span]:
+        """Steal half the longest backlog (by jobs) for an idle worker."""
         if self._orphans:
-            self._orphaned_since = None
-            return self._orphans.popleft()
+            span = self._orphans.popleft()
+            if not self._orphans:
+                # Only a fully drained pool disarms the abandonment clock:
+                # spans still waiting keep their original deadline, so a
+                # partial steal can never let a still-orphaned run evade
+                # worker_wait_timeout.
+                self._orphaned_since = None
+            return span
         victim = max(
             (link for link in self._alive_links() if link is not thief and link.queue),
-            key=lambda link: len(link.queue),
+            key=_WorkerLink.queued_jobs,
             default=None,
         )
         if victim is None:
             return None
-        # Move the *tail* half of the victim's backlog: the victim keeps the
-        # chunks it would reach next, the thief takes the far end.
-        take = max(1, len(victim.queue) // 2)
-        stolen = [victim.queue.pop() for _ in range(take)]
-        self.stats["chunks_stolen"] += len(stolen)
-        first, rest = stolen[0], stolen[1:]
+        # Move the *tail* half of the victim's backlog: the victim keeps
+        # the jobs it would reach next, the thief takes the far end.  Spans
+        # split at job granularity, so the half is exact even when the
+        # backlog is one big span.
+        target = max(1, victim.queued_jobs() // 2)
+        taken: List[_Span] = []
+        got = 0
+        while victim.queue and got < target:
+            span = victim.queue.pop()
+            need = target - got
+            if len(span) > need:
+                tail = _Span(span.run, span.stop - need, span.stop, span.attempts)
+                span.stop -= need
+                victim.queue.append(span)
+                taken.append(tail)
+                got += need
+            else:
+                taken.append(span)
+                got += len(span)
+        if not taken:
+            return None
+        self.stats["chunks_stolen"] += len(taken)
+        first, rest = taken[0], taken[1:]
         thief.queue.extend(reversed(rest))
         return first
+
+    def _refit_chunk(self, chunk: _Chunk) -> Tuple[_Span, _Span]:
+        """Halve an over-limit chunk (either wire direction).
+
+        The single place refit policy lives: learns the run's frame-size
+        cap, counts the refit, and returns the two replacement spans —
+        callers differ only in where they enqueue them.
+        """
+        middle = (chunk.start + chunk.stop) // 2
+        half = max(1, len(chunk) // 2)
+        run = chunk.run
+        if run.max_chunk_jobs is None or half < run.max_chunk_jobs:
+            run.max_chunk_jobs = half
+        self.stats["chunks_refitted"] += 1
+        return (
+            _Span(run, chunk.start, middle, chunk.attempts),
+            _Span(run, middle, chunk.stop, chunk.attempts),
+        )
+
+    def _target_chunk_jobs(self, link: _WorkerLink, run: _Run) -> int:
+        """Jobs the next chunk for ``link`` should carry.
+
+        Static policy: the run's ``chunksize``.  Adaptive policy
+        (``chunk_window`` set): the worker's measured EWMA throughput
+        times the window — falling back to the run's chunksize as the
+        probe size until the first completion measures the worker.
+        """
+        if self.chunk_window is None:
+            return run.chunksize
+        stats = self.telemetry.get(link.id)
+        expected = (
+            stats.expected_jobs(self.chunk_window) if stats is not None else None
+        )
+        if expected is None:
+            return run.chunksize
+        return expected
 
     def _next_chunk(self, link: _WorkerLink) -> Optional[_Chunk]:
         while True:
             if link.queue:
-                chunk = link.queue.popleft()
+                span = link.queue.popleft()
             else:
-                chunk = self._steal_for(link)
-            if chunk is None:
+                span = self._steal_for(link)
+            if span is None:
                 return None
-            if chunk.run.done:
+            if span.run.done or not len(span):
                 continue  # run already failed/finished; drop silently
+            take = min(len(span), self._target_chunk_jobs(link, span.run))
+            if span.run.max_chunk_jobs is not None:
+                # Frame-limit cap learned from a previous refit: never
+                # re-cut (and re-pay the over-limit encode for) a chunk
+                # size that already failed to fit one frame.
+                take = max(1, min(take, span.run.max_chunk_jobs))
+            chunk = _Chunk(
+                span.run,
+                f"{span.run.id}/c{next(self._chunk_ids)}",
+                span.start,
+                span.start + take,
+                span.attempts,
+            )
+            if take < len(span):
+                span.start += take
+                link.queue.appendleft(span)
             return chunk
 
     async def _pump(self, link: _WorkerLink) -> None:
@@ -447,16 +656,28 @@ class Coordinator:
             try:
                 frame = wire.encode_message(protocol.chunk_event(chunk.id, chunk.jobs))
             except Exception as error:
-                # Undispatchable chunk (unpicklable job, frame over the
-                # limit): that is the *sweep's* failure, not the worker's —
-                # fail the run and keep the scheduler alive.
+                if len(chunk) > 1:
+                    # The chunk — not any single job — overflows the frame
+                    # limit (the adaptive sizer can cut arbitrarily large
+                    # chunks from a span; a static chunksize can be set too
+                    # big for fat jobs).  Halve and requeue: O(log) retries
+                    # converge on a dispatchable size or on single jobs.
+                    head, tail = self._refit_chunk(chunk)
+                    link.queue.appendleft(tail)
+                    link.queue.appendleft(head)
+                    continue
+                # A single job that cannot be dispatched (unpicklable, or
+                # alone over the frame limit): that is the *sweep's*
+                # failure, not the worker's — fail the run and keep the
+                # scheduler alive.
                 chunk.run.fail(
                     ClusterError(
                         f"cannot dispatch chunk {chunk.id}: {error} "
-                        "(unpicklable job or chunk too large for one frame)"
+                        "(unpicklable job or job too large for one frame)"
                     )
                 )
                 continue
+            chunk.dispatched_at = time.monotonic()
             link.inflight[chunk.id] = chunk
             self.stats["chunks_dispatched"] += 1
             if not await link.send_bytes(frame):
@@ -470,6 +691,7 @@ class Coordinator:
             try:
                 for link in self._alive_links():
                     await self._pump(link)
+                await self._maybe_split()
             except asyncio.CancelledError:
                 raise
             except Exception:
@@ -478,6 +700,58 @@ class Coordinator:
                 self.stats["scheduler_errors"] += 1
                 self._kick.set()
                 await asyncio.sleep(self.heartbeat_interval)
+
+    async def _maybe_split(self) -> None:
+        """Split aged in-flight chunks of stragglers while workers idle.
+
+        Adaptive policy only (``chunk_window`` set).  The trigger is
+        precise starvation: some worker is idle with nothing left to steal
+        while another worker's in-flight chunk has aged past the split
+        threshold — at that point the only parallelism left to win is
+        inside that chunk, so the coordinator asks its worker to hand the
+        unstarted tail back (``split`` with ``keep=0``).  One split
+        request per chunk: once granted, the head holds only
+        already-started jobs and re-splitting it could never free more.
+        """
+        if self.chunk_window is None:
+            return
+        links = self._alive_links()
+        if len(links) < 2:
+            return
+        if not any(not link.inflight and not link.queue for link in links):
+            return
+        now = time.monotonic()
+        for link in links:
+            for chunk in list(link.inflight.values()):
+                if chunk.split_requested or len(chunk) < 2 or chunk.run.done:
+                    continue
+                if now - chunk.dispatched_at < self._split_threshold(link, chunk):
+                    continue
+                if chunk.id not in link.inflight:
+                    # Completed (or was reassigned) while an earlier send
+                    # in this sweep awaited: a split now would be a dead
+                    # frame and would skew splits_requested.
+                    continue
+                chunk.split_requested = True
+                self.stats["splits_requested"] += 1
+                await link.send(protocol.split_event(chunk.id, keep=0))
+
+    def _split_threshold(self, link: _WorkerLink, chunk: _Chunk) -> float:
+        """Age after which an in-flight chunk counts as straggling.
+
+        A chunk sized to the window should complete in about one window;
+        ``SPLIT_AGE_FACTOR`` windows of patience absorbs estimation noise.
+        When telemetry already predicts a longer runtime (a probe chunk on
+        a slow worker), half the predicted time is allowed before
+        splitting — enough signal to act on, early enough to matter.
+        """
+        assert self.chunk_window is not None
+        base = SPLIT_AGE_FACTOR * self.chunk_window
+        stats = self.telemetry.get(link.id)
+        expected = stats.expected_seconds(len(chunk)) if stats is not None else None
+        if expected is None:
+            return base
+        return min(max(base, 0.5 * expected), 4.0 * base)
 
     async def _reaper_loop(self) -> None:
         """Declare silent workers dead; time out permanently orphaned work."""
@@ -491,13 +765,23 @@ class Coordinator:
                     except (ConnectionError, OSError):
                         pass
                     self._on_worker_death(link)
+            # Periodic straggler check: splits must fire even when no
+            # completion event has kicked the scheduler for a while.
+            # Guarded like the scheduler loop: a splitting bug must never
+            # kill the reaper, or dead-worker detection silently stops.
+            try:
+                await self._maybe_split()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.stats["scheduler_errors"] += 1
             if (
                 self._orphans
                 and not self._alive_links()
                 and self._orphaned_since is not None
                 and now - self._orphaned_since > self.worker_wait_timeout
             ):
-                failed = {chunk.run for chunk in self._orphans}
+                failed = {span.run for span in self._orphans}
                 self._orphans.clear()
                 self._orphaned_since = None
                 for run in failed:
@@ -509,40 +793,45 @@ class Coordinator:
                     )
 
     def _on_worker_death(self, link: _WorkerLink) -> None:
-        """Reassign a dead worker's queued and in-flight chunks."""
+        """Reassign a dead worker's queued and in-flight work."""
         if not link.alive:
             return
         link.alive = False
         self.stats["workers_lost"] += 1
-        stranded = list(link.inflight.values()) + list(link.queue)
+        # Dead workers never return under the same id, so their speed
+        # estimates must not pollute the pool median / straggler view.
+        self.telemetry.forget(link.id)
+        stranded = [chunk.to_span() for chunk in link.inflight.values()]
+        stranded.extend(link.queue)
         link.inflight.clear()
         link.queue.clear()
-        reassign: List[_Chunk] = []
-        for chunk in stranded:
-            if chunk.run.done:
+        reassign: List[_Span] = []
+        for span in stranded:
+            if span.run.done or not len(span):
                 continue
-            chunk.attempts += 1
-            if chunk.attempts > self.max_chunk_retries:
-                chunk.run.fail(
+            span.attempts += 1
+            if span.attempts > self.max_chunk_retries:
+                span.run.fail(
                     ClusterError(
-                        f"chunk {chunk.id} lost {chunk.attempts} workers "
-                        f"(retry limit {self.max_chunk_retries}); sweep abandoned"
+                        f"work [{span.start}:{span.stop}) of {span.run.id} lost "
+                        f"{span.attempts} workers (retry limit "
+                        f"{self.max_chunk_retries}); sweep abandoned"
                     )
                 )
                 continue
             self.stats["chunks_retried"] += 1
-            reassign.append(chunk)
+            reassign.append(span)
         if reassign:
             self._distribute(reassign)
         self._kick.set()
 
     def _drop_run_chunks(self, run: _Run) -> None:
-        """Purge a finished/failed run's chunks from every queue."""
-        self._orphans = deque(chunk for chunk in self._orphans if chunk.run is not run)
+        """Purge a finished/failed run's spans from every queue."""
+        self._orphans = deque(span for span in self._orphans if span.run is not run)
         if not self._orphans:
             self._orphaned_since = None
         for link in self._links.values():
-            link.queue = deque(chunk for chunk in link.queue if chunk.run is not run)
+            link.queue = deque(span for span in link.queue if span.run is not run)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -568,11 +857,17 @@ class Coordinator:
                     if link is None:
                         break
                 elif op == "heartbeat":
-                    if link is not None:
+                    # Frames buffered by a worker already declared dead must
+                    # not resurrect its forgotten telemetry entry.
+                    if link is not None and link.alive:
                         link.last_seen = time.time()
+                        self.telemetry.observe_heartbeat(link.id, time.monotonic())
                 elif op == "chunk_done" and link is not None:
                     link.last_seen = time.time()
                     self._handle_chunk_done(link, message)
+                elif op == "split_ack" and link is not None:
+                    link.last_seen = time.time()
+                    self._handle_split_ack(link, message)
                 elif op == "chunk_failed" and link is not None:
                     link.last_seen = time.time()
                     self._handle_chunk_failed(link, message)
@@ -651,25 +946,78 @@ class Coordinator:
         except Exception as error:
             chunk.run.fail(ClusterError(f"undecodable results for {chunk.id}: {error}"))
             return
-        if len(results) != len(chunk.jobs):
+        count = message.get("count")
+        if count is not None and int(count) != len(results):
+            # The declared count is the spec's partial-ack invariant; a
+            # frame whose payload disagrees with it is corrupt transport.
             chunk.run.fail(
                 ClusterError(
-                    f"chunk {chunk.id} returned {len(results)} results "
-                    f"for {len(chunk.jobs)} jobs"
+                    f"chunk {chunk.id} declared count={count} but carried "
+                    f"{len(results)} results"
                 )
             )
             return
+        if len(results) != len(chunk):
+            # A granted split truncated the coordinator-side chunk via the
+            # (stream-ordered) split_ack before this frame, so even partial
+            # completions must match exactly.
+            chunk.run.fail(
+                ClusterError(
+                    f"chunk {chunk.id} returned {len(results)} results "
+                    f"for {len(chunk)} jobs"
+                )
+            )
+            return
+        self.telemetry.observe_chunk(
+            link.id, len(results), time.monotonic() - chunk.dispatched_at
+        )
         link.chunks_done += 1
         link.jobs_done += len(results)
         self.stats["chunks_completed"] += 1
         self.stats["jobs_done"] += len(results)
-        chunk.run.complete_chunk(chunk, results, chunk.jobs[-1].name)
+        chunk.run.complete_chunk(chunk, results)
+        self._kick.set()
+
+    def _handle_split_ack(self, link: _WorkerLink, message: Dict[str, Any]) -> None:
+        """Reassign the tail a worker handed back in answer to ``split``."""
+        chunk = link.inflight.get(str(message.get("chunk")))
+        if chunk is None:
+            return  # raced with chunk_done / reassignment: nothing to take
+        kept = message.get("kept")
+        if kept is None:
+            return  # split declined (chunk finished first)
+        kept = int(kept)
+        if kept < 0 or kept >= len(chunk):
+            return  # nothing handed back
+        if chunk.run.done:
+            # The run failed/finished while the split was in flight: the
+            # worker's eventual partial completion is discarded anyway, so
+            # neither the stats nor the queues should see this split.
+            return
+        tail = _Span(chunk.run, chunk.start + kept, chunk.stop, chunk.attempts)
+        chunk.stop = chunk.start + kept
+        self.stats["chunks_split"] += 1
+        self._distribute([tail], exclude=link)
         self._kick.set()
 
     def _handle_chunk_failed(self, link: _WorkerLink, message: Dict[str, Any]) -> None:
         chunk = link.inflight.pop(str(message.get("chunk")), None)
         if chunk is None:
             self.stats["duplicate_results"] += 1
+            return
+        if (
+            message.get("code") == protocol.RESULTS_OVERFLOW
+            and len(chunk) > 1
+            and not chunk.run.done
+        ):
+            # Transport, not job, failure: the chunk's pickled results do
+            # not fit one frame.  Symmetric to the dispatch-side refit —
+            # halve, learn the run's size cap and requeue; re-running the
+            # (deterministic) jobs at a smaller size reproduces the same
+            # values.  A single job whose results alone overflow falls
+            # through to the failure path below.
+            self._distribute(list(self._refit_chunk(chunk)))
+            self._kick.set()
             return
         error = protocol.unpack_exception(
             message.get("exception"), str(message.get("error", "job failed on worker"))
@@ -680,6 +1028,19 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _worker_info(self, link: _WorkerLink) -> Dict[str, Any]:
+        """One worker's status document: link state + telemetry snapshot.
+
+        The telemetry keys come from :meth:`WorkerStats.to_dict` — the
+        single source of truth for their names — and are present (as
+        ``None`` / zero) even for a worker with no observations yet, so
+        consumers never need existence checks.
+        """
+        info = link.info().to_dict()
+        stats = self.telemetry.get(link.id) or WorkerStats(link.id)
+        info.update(stats.to_dict())
+        return info
+
     def status_event(self, request_id: Any = None) -> Dict[str, Any]:
         """The ``status`` reply document (also used by ``cluster status``)."""
         import repro
@@ -691,7 +1052,7 @@ class Coordinator:
             "version": repro.__version__,
             "code_version": self._code_version,
             "address": list(self.address),
-            "workers": [link.info().to_dict() for link in self._links.values()],
+            "workers": [self._worker_info(link) for link in self._links.values()],
             "alive_workers": self.worker_count(),
             "total_slots": self.total_slots(),
             "runs_in_flight": len(self._runs),
@@ -699,6 +1060,10 @@ class Coordinator:
             "stats": dict(self.stats),
             "heartbeat_interval": self.heartbeat_interval,
             "heartbeat_timeout": self.heartbeat_timeout,
+            "chunk_window": self.chunk_window,
+            "scheduling": "adaptive" if self.chunk_window is not None else "static",
+            "pool_median_throughput": self.telemetry.pool_median_throughput(),
+            "stragglers": list(self.telemetry.stragglers()),
         }
 
     def describe(self) -> str:
@@ -708,5 +1073,6 @@ class Coordinator:
             f"Coordinator[{host}:{port}] — {self.worker_count()} workers, "
             f"{self.stats['jobs_done']} jobs done, "
             f"{self.stats['chunks_stolen']} chunks stolen, "
+            f"{self.stats['chunks_split']} split, "
             f"{self.stats['chunks_retried']} retried"
         )

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import atexit
+import concurrent.futures
 import os
 import subprocess
 import sys
@@ -64,6 +65,44 @@ def _worker_environment() -> dict:
     return env
 
 
+def spawn_worker_process(
+    connect: str,
+    name: Optional[str] = None,
+    slots: int = 1,
+    throttle: float = 0.0,
+    connect_timeout: float = 30.0,
+) -> subprocess.Popen:
+    """Spawn one ``python -m repro worker`` subprocess joining ``connect``.
+
+    The single place the worker command line is assembled: the executor
+    uses it for its local pool, and the straggler-pool benchmark / tests
+    use it (with ``throttle``) to join deliberately slowed workers — so
+    every spawner inherits the same flags and :func:`_worker_environment`.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--connect",
+        connect,
+        "--connect-timeout",
+        str(connect_timeout),
+    ]
+    if name is not None:
+        command += ["--name", name]
+    if slots != 1:
+        command += ["--slots", str(slots)]
+    if throttle:
+        command += ["--throttle", str(throttle)]
+    return subprocess.Popen(
+        command,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=_worker_environment(),
+    )
+
+
 class DistributedExecutor:
     """Run sweeps across long-lived worker processes, local or remote.
 
@@ -81,7 +120,17 @@ class DistributedExecutor:
         Jobs per dispatched chunk.  The default splits a sweep into about
         four chunks per worker slot — small enough for work stealing and
         death-retry to matter, large enough to amortise the pickle+frame
-        overhead.
+        overhead.  Under an adaptive ``chunk_window`` this is only the
+        *probe* size used until a worker's throughput has been measured
+        (default: 1, so the scheduler learns each worker's speed from the
+        very first completion).
+    chunk_window:
+        Target wall-time per dispatched chunk, in seconds — switches the
+        coordinator to the **adaptive scheduler**: chunk sizes track each
+        worker's measured EWMA throughput, and stragglers' in-flight
+        chunks are split so idle workers take over the unstarted tail
+        (see ``docs/scheduling.md``).  ``None`` (default) keeps static
+        chunk sizing.  CLI: ``--chunk-window``.
     min_workers:
         How many registered workers :meth:`execute` waits for before
         dispatching (default: the spawned count, or 1 when only external
@@ -101,6 +150,7 @@ class DistributedExecutor:
         workers: Optional[int] = None,
         connect: Optional[str] = None,
         chunksize: Optional[int] = None,
+        chunk_window: Optional[float] = None,
         min_workers: Optional[int] = None,
         heartbeat_interval: float = 1.0,
         heartbeat_timeout: float = 5.0,
@@ -110,6 +160,8 @@ class DistributedExecutor:
             raise ValueError("workers must be non-negative")
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be at least 1")
+        if chunk_window is not None and chunk_window <= 0:
+            raise ValueError("chunk_window must be positive (seconds)")
         if min_workers is not None and min_workers < 1:
             raise ValueError("min_workers must be at least 1")
         if connect is not None:
@@ -119,6 +171,7 @@ class DistributedExecutor:
             raise ValueError("workers=0 needs connect= so external workers can join")
         self.connect = connect
         self.chunksize = chunksize
+        self.chunk_window = chunk_window
         self.min_workers = min_workers if min_workers is not None else max(1, self.workers)
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
@@ -185,6 +238,7 @@ class DistributedExecutor:
             port=port,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
+            chunk_window=self.chunk_window,
         )
         asyncio.run_coroutine_threadsafe(coordinator.start(), loop).result(self.start_timeout)
         self.coordinator = coordinator
@@ -194,22 +248,10 @@ class DistributedExecutor:
         bound_host, bound_port = coordinator.address
         for index in range(self.workers):
             self._processes.append(
-                subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro",
-                        "worker",
-                        "--connect",
-                        f"{bound_host}:{bound_port}",
-                        "--name",
-                        f"local-{index}",
-                        "--connect-timeout",
-                        str(self.start_timeout),
-                    ],
-                    stdout=subprocess.DEVNULL,
-                    stderr=subprocess.DEVNULL,
-                    env=_worker_environment(),
+                spawn_worker_process(
+                    f"{bound_host}:{bound_port}",
+                    name=f"local-{index}",
+                    connect_timeout=self.start_timeout,
                 )
             )
         self._await_workers()
@@ -230,6 +272,28 @@ class DistributedExecutor:
             time.sleep(0.02)
         if self.coordinator.worker_count() == 0:
             raise ClusterError("no workers registered within the start timeout")
+
+    def wait_for_workers(self, count: int, timeout: Optional[float] = None) -> None:
+        """Block until ``count`` workers are registered on the endpoint.
+
+        For callers joining *external* workers after :meth:`start` —
+        benchmarks and tests spawning throttled stragglers, operators
+        scripting pool bring-up.  Raises :class:`ClusterError` when the
+        pool has not reached ``count`` within ``timeout`` (default:
+        ``start_timeout``).
+        """
+        if self.coordinator is None:
+            raise ClusterError("executor not started")
+        deadline = time.monotonic() + (
+            self.start_timeout if timeout is None else timeout
+        )
+        while self.coordinator.worker_count() < count:
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"only {self.coordinator.worker_count()} of {count} workers "
+                    "registered within the timeout"
+                )
+            time.sleep(0.02)
 
     def close(self) -> None:
         """Stop the coordinator, terminate spawned workers, join the loop."""
@@ -273,6 +337,11 @@ class DistributedExecutor:
     # Execution
     # ------------------------------------------------------------------
     def _default_chunksize(self, job_count: int) -> int:
+        if self.chunk_window is not None:
+            # Adaptive scheduling: the static size only seeds the probe
+            # chunks, so keep them minimal — the first completion measures
+            # the worker and the window takes over.
+            return 1
         slots = self.coordinator.total_slots() if self.coordinator is not None else 1
         return max(1, job_count // (4 * max(1, slots)))
 
@@ -309,15 +378,23 @@ class DistributedExecutor:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def status(self) -> dict:
-        """Cluster status document (see :meth:`Coordinator.status_event`)."""
+    def status(self, timeout: float = 10.0) -> dict:
+        """Cluster status document (see :meth:`Coordinator.status_event`).
+
+        ``timeout`` bounds the round-trip to the coordinator's event loop;
+        on expiry the pending request is cancelled (so a wedged loop does
+        not accumulate abandoned coroutines) and the timeout propagates.
+        """
         if self._fallback is not None:
             return {"event": "status", "fallback": "serial", "workers": []}
         if self.coordinator is None or self._loop is None:
             return {"event": "status", "started": False, "workers": []}
-        return asyncio.run_coroutine_threadsafe(
-            self._status_async(), self._loop
-        ).result(10)
+        future = asyncio.run_coroutine_threadsafe(self._status_async(), self._loop)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise
 
     async def _status_async(self) -> dict:
         assert self.coordinator is not None

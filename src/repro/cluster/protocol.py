@@ -17,13 +17,26 @@ to a :class:`~repro.cluster.coordinator.Coordinator`:
     Periodic liveness beacon; a worker silent for longer than the
     coordinator's heartbeat timeout is declared dead and its chunks are
     reassigned.
-``{"op": "chunk_done", "chunk": <id>, "results": <blob>}``
+``{"op": "chunk_done", "chunk": <id>, "results": <blob>, "count": N}``
     One finished chunk; ``results`` is the pickled result list
-    (:func:`pack_results`).
-``{"op": "chunk_failed", "chunk": <id>, "error": ..., "exception": <blob>}``
+    (:func:`pack_results`) and ``count`` its length.  After a granted
+    ``split`` this is a **partial-completion ack**: ``count`` equals the
+    ``kept`` value of the preceding ``split_ack`` and the results cover
+    only the kept prefix of the chunk's jobs.
+``{"op": "split_ack", "chunk": <id>, "kept": K}``
+    Answer to a coordinator ``split`` event (protocol v3).  ``K`` is the
+    number of leading jobs the worker keeps (already started jobs can
+    never be handed back, so ``K >= jobs started``); the coordinator
+    reassigns the chunk's unstarted tail.  ``kept: null`` declines the
+    split — the chunk already finished or was never held.
+``{"op": "chunk_failed", "chunk": <id>, "error": ..., "exception": <blob>,
+   ["code": "results_overflow"]}``
     A job *raised* on the worker (distinct from the worker dying).  The
     coordinator fails the whole sweep with the unpickled exception, exactly
-    as the serial executor would have propagated it.
+    as the serial executor would have propagated it.  Exception: with
+    ``code: "results_overflow"`` (the chunk's pickled results exceed the
+    frame limit) and more than one job in the chunk, the coordinator
+    *refits* — halves and requeues the chunk — instead of failing.
 
 **Control clients** (``python -m repro cluster status``):
 
@@ -39,6 +52,12 @@ Coordinator -> worker events:
                 ``heartbeat_seconds``.
 ``chunk``     — one chunk of jobs to run: ``chunk`` (id) plus ``jobs``
                 (:func:`pack_jobs` blob).
+``split``     — give back the unstarted tail of one in-flight chunk
+                (``chunk`` id, ``keep`` floor): the adaptive scheduler
+                detected a straggler and wants to reassign the tail to an
+                idle worker.  Always answered with ``split_ack``; the
+                worker then finishes only the kept prefix and reports it
+                via a partial ``chunk_done``.
 ``cancel``    — drop one in-flight chunk (``chunk`` id): its run was
                 cancelled.  The worker stops at the next job boundary and
                 reports nothing; a result that still arrives is counted as
@@ -68,8 +87,10 @@ from repro.runtime.jobs import Job
 
 #: Bumped on incompatible cluster-wire changes; checked during ``hello``.
 #: Version 2 added the ``cancel`` event (coordinator -> worker chunk
-#: revocation for cancelled runs).
-CLUSTER_PROTOCOL_VERSION = 2
+#: revocation for cancelled runs).  Version 3 added the adaptive-scheduler
+#: frames: the ``split`` event, the ``split_ack`` / partial ``chunk_done``
+#: acks, and the ``count`` field on ``chunk_done``.
+CLUSTER_PROTOCOL_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -159,16 +180,49 @@ def chunk_event(chunk_id: str, jobs: Sequence[Job]) -> Dict[str, Any]:
 
 
 def chunk_done_request(chunk_id: str, results: Sequence[Any]) -> Dict[str, Any]:
-    return {"op": "chunk_done", "chunk": chunk_id, "results": pack_results(results)}
-
-
-def chunk_failed_request(chunk_id: str, error: BaseException) -> Dict[str, Any]:
+    """Completion ack; ``count`` < the dispatched job count after a split."""
     return {
+        "op": "chunk_done",
+        "chunk": chunk_id,
+        "results": pack_results(results),
+        "count": len(results),
+    }
+
+
+def split_event(chunk_id: str, keep: int) -> Dict[str, Any]:
+    """Ask a worker to hand back the unstarted tail of an in-flight chunk.
+
+    ``keep`` is the floor on how many leading jobs the worker keeps; the
+    scheduler's straggler split passes ``keep=0`` ("keep only what you
+    already started").
+    """
+    return {"event": "split", "chunk": chunk_id, "keep": int(keep)}
+
+
+def split_ack_request(chunk_id: str, kept: Optional[int]) -> Dict[str, Any]:
+    """Worker's answer to ``split``: ``kept`` jobs retained, or ``None``
+    when the split is declined (chunk finished or unknown)."""
+    return {"op": "split_ack", "chunk": chunk_id, "kept": kept}
+
+
+#: ``chunk_failed`` code marking a *transport* failure (results frame over
+#: the wire limit) rather than a job failure: the coordinator refits the
+#: chunk smaller instead of failing the sweep (unless it is a single job).
+RESULTS_OVERFLOW = "results_overflow"
+
+
+def chunk_failed_request(
+    chunk_id: str, error: BaseException, code: Optional[str] = None
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {
         "op": "chunk_failed",
         "chunk": chunk_id,
         "error": f"{type(error).__name__}: {error}",
         "exception": pack_exception(error),
     }
+    if code is not None:
+        message["code"] = code
+    return message
 
 
 def cancel_event(chunk_id: str) -> Dict[str, Any]:

@@ -13,6 +13,11 @@ its pid, slot count and code version, and then loops:
   the *worker survives* and keeps serving other chunks, the *sweep* fails
   at the submitting call site exactly as it would under the serial
   executor;
+* a ``split`` event (protocol v3, the adaptive scheduler reclaiming a
+  straggler's backlog) truncates one in-flight chunk to the jobs already
+  started: the worker answers ``split_ack`` with the kept count, finishes
+  only that prefix and reports it as a partial ``chunk_done`` — the
+  coordinator reassigns the tail to an idle worker;
 * a ``cancel`` event revokes one in-flight chunk (its run was cancelled):
   the chunk body stops at its next job boundary and reports nothing —
   the worker stays registered and keeps serving other chunks;
@@ -34,6 +39,7 @@ import asyncio
 import os
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -43,12 +49,70 @@ from repro.runtime.executors import SweepCancelled
 from repro.runtime.jobs import Job, code_version
 
 
-def _run_jobs(jobs: List[Job], cancel: threading.Event) -> List[Any]:
-    """Chunk body on the worker thread: run jobs, stop on revocation."""
+class ChunkProgress:
+    """Thread-shared execution state of one in-flight chunk.
+
+    The chunk body (a worker thread) and the connection's read loop (the
+    asyncio thread) coordinate through this object: the body claims jobs
+    one at a time via :meth:`try_start`, a coordinator ``split`` lands via
+    :meth:`split`, and a ``cancel`` sets :attr:`cancel`.  The lock makes
+    the split decision exact — the acked ``kept`` count is precisely the
+    number of results the eventual (partial) ``chunk_done`` will carry,
+    because a job is either started before the split (and kept) or not
+    (and handed back), never half-way.
+
+    >>> state = ChunkProgress()
+    >>> state.try_start(), state.try_start()   # body starts jobs 0 and 1
+    (True, True)
+    >>> state.split(keep=0)                    # split keeps started jobs only
+    2
+    >>> state.try_start()                      # the tail was handed back
+    False
+    >>> state.split(keep=5)                    # a later split cannot re-grow
+    2
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.cancel = threading.Event()
+        self.started = 0
+        self.limit: Optional[int] = None  # None: no split yet, run everything
+
+    def try_start(self) -> bool:
+        """Claim the next job for execution; ``False`` past a split limit."""
+        with self.lock:
+            if self.limit is not None and self.started >= self.limit:
+                return False
+            self.started += 1
+            return True
+
+    def split(self, keep: int) -> int:
+        """Truncate to ``max(started, keep)`` jobs; returns the kept count."""
+        with self.lock:
+            kept = max(self.started, int(keep))
+            if self.limit is not None:
+                kept = min(kept, self.limit)
+            self.limit = kept
+            return kept
+
+
+def _run_jobs(
+    jobs: List[Job], state: ChunkProgress, throttle: float = 0.0
+) -> List[Any]:
+    """Chunk body on the worker thread: run jobs, honour splits/revocation.
+
+    Returns the results of the jobs actually run — the full chunk
+    normally, a prefix after a coordinator ``split``.  ``throttle`` adds a
+    sleep before every job (the chaos knob behind ``--throttle``).
+    """
     results: List[Any] = []
     for job in jobs:
-        if cancel.is_set():
+        if state.cancel.is_set():
             raise SweepCancelled("chunk revoked by coordinator")
+        if not state.try_start():
+            break  # split: the tail belongs to another worker now
+        if throttle > 0.0:
+            time.sleep(throttle)
         results.append(job.run())
     return results
 
@@ -95,6 +159,13 @@ class Worker:
         ``<hostname>-<pid>``.
     connect_timeout:
         Retry-with-backoff budget while the coordinator is still binding.
+    throttle:
+        Artificial per-job delay in seconds (default 0: none).  A chaos /
+        benchmarking knob: a throttled worker is a reproducible straggler
+        for exercising the adaptive scheduler (see
+        ``benchmarks/bench_adaptive_scheduling.py`` and the heterogeneous
+        pool runbook in ``docs/operations.md``).  Never set it in
+        production pools.
     """
 
     def __init__(
@@ -104,14 +175,18 @@ class Worker:
         slots: int = 1,
         name: Optional[str] = None,
         connect_timeout: float = 10.0,
+        throttle: float = 0.0,
     ):
         if slots < 1:
             raise ValueError("slots must be at least 1")
+        if throttle < 0:
+            raise ValueError("throttle must be non-negative")
         self.host = host
         self.port = port
         self.slots = slots
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.connect_timeout = connect_timeout
+        self.throttle = throttle
         self.worker_id: Optional[str] = None
         self.chunks_done = 0
 
@@ -125,9 +200,10 @@ class Worker:
         loop = asyncio.get_running_loop()
         heartbeat_task: Optional["asyncio.Task"] = None
         chunk_tasks: set = set()
-        # Per-chunk revocation flags: a coordinator `cancel` event sets the
-        # matching flag and the chunk body stops at its next job boundary.
-        chunk_cancels: Dict[str, threading.Event] = {}
+        # Per-chunk execution state: a coordinator `cancel` event sets the
+        # matching cancel flag (the body stops at its next job boundary)
+        # and a `split` truncates the body's job budget via the same state.
+        chunk_states: Dict[str, ChunkProgress] = {}
 
         async def send(message: Dict[str, Any]) -> None:
             async with send_lock:
@@ -154,14 +230,14 @@ class Worker:
                     await send(protocol.heartbeat_request(self.worker_id or ""))
 
             async def run_chunk(chunk_id: str, blob: str) -> None:
-                # The flag was registered by the read loop when the chunk
-                # arrived, so a `cancel` processed before this task first
-                # runs is still seen.
-                cancel = chunk_cancels.get(chunk_id) or threading.Event()
+                # The state was registered by the read loop when the chunk
+                # arrived, so a `cancel` or `split` processed before this
+                # task first runs is still seen.
+                state = chunk_states.get(chunk_id) or ChunkProgress()
                 try:
                     jobs = protocol.unpack_jobs(blob)
                     results = await loop.run_in_executor(
-                        pool, _run_jobs, jobs, cancel
+                        pool, _run_jobs, jobs, state, self.throttle
                     )
                 except asyncio.CancelledError:
                     raise
@@ -170,12 +246,12 @@ class Worker:
                     # so report nothing and stay available for new work.
                     return
                 except BaseException as error:  # job failure -> sweep failure
-                    if not cancel.is_set():
+                    if not state.cancel.is_set():
                         await send(protocol.chunk_failed_request(chunk_id, error))
                     return
                 finally:
-                    chunk_cancels.pop(chunk_id, None)
-                if cancel.is_set():
+                    chunk_states.pop(chunk_id, None)
+                if state.cancel.is_set():
                     # Revocation raced chunk completion; drop the result —
                     # the coordinator would discard it as a duplicate anyway.
                     return
@@ -184,15 +260,19 @@ class Worker:
                         protocol.chunk_done_request(chunk_id, results)
                     )
                 except wire.ProtocolError as error:
-                    # Results too large for one frame: the sweep must fail
-                    # with a diagnosis, never hang waiting on this chunk.
+                    # Results too large for one frame.  Tagged with the
+                    # results_overflow code so the coordinator refits the
+                    # chunk smaller instead of failing the sweep; only a
+                    # single job whose results alone overflow is fatal.
                     await send(
                         protocol.chunk_failed_request(
                             chunk_id,
                             RuntimeError(
                                 f"chunk {chunk_id} results exceed the frame "
-                                f"limit ({error}); use a smaller chunksize"
+                                f"limit ({error}); job results too large for "
+                                f"one frame"
                             ),
+                            code=protocol.RESULTS_OVERFLOW,
                         )
                     )
                     return
@@ -213,16 +293,29 @@ class Worker:
                     break
                 if message.get("event") == "chunk":
                     chunk_id = str(message.get("chunk"))
-                    chunk_cancels[chunk_id] = threading.Event()
+                    chunk_states[chunk_id] = ChunkProgress()
                     task = asyncio.ensure_future(
                         run_chunk(chunk_id, str(message.get("jobs", "")))
                     )
                     chunk_tasks.add(task)
                     task.add_done_callback(reap_chunk_task)
+                elif message.get("event") == "split":
+                    # Straggler split: truncate the chunk to the jobs this
+                    # worker already started and ack the kept count — the
+                    # coordinator reassigns the tail.  A chunk that already
+                    # finished (or was never ours) declines with kept=null.
+                    chunk_id = str(message.get("chunk"))
+                    state = chunk_states.get(chunk_id)
+                    kept = (
+                        state.split(int(message.get("keep", 0)))
+                        if state is not None
+                        else None
+                    )
+                    await send(protocol.split_ack_request(chunk_id, kept))
                 elif message.get("event") == "cancel":
-                    revoked = chunk_cancels.get(str(message.get("chunk")))
+                    revoked = chunk_states.get(str(message.get("chunk")))
                     if revoked is not None:
-                        revoked.set()
+                        revoked.cancel.set()
                 elif message.get("event") == "error":
                     raise WorkerError(f"coordinator error: {message.get('error')}")
                 # anything else: ignore (forward compatibility)
@@ -253,6 +346,7 @@ def run_worker(
     slots: int = 1,
     name: Optional[str] = None,
     connect_timeout: float = 10.0,
+    throttle: float = 0.0,
 ) -> int:
     """Synchronous entry point used by ``python -m repro worker``.
 
@@ -268,6 +362,9 @@ def run_worker(
         Display name in ``cluster status``; default ``<hostname>-<pid>``.
     connect_timeout:
         Retry-with-backoff budget while the coordinator is still binding.
+    throttle:
+        Artificial per-job delay in seconds — the deliberate-straggler
+        chaos knob (``--throttle``); keep 0 in production pools.
 
     Returns the process exit code: ``0`` on clean shutdown (coordinator
     closed the cluster), ``1`` on registration / transport failure —
@@ -276,10 +373,18 @@ def run_worker(
     Raises
     ------
     ValueError
-        For a malformed ``connect`` address or ``slots < 1``.
+        For a malformed ``connect`` address, ``slots < 1`` or a negative
+        ``throttle``.
     """
     host, port = parse_address(connect)
-    worker = Worker(host, port, slots=slots, name=name, connect_timeout=connect_timeout)
+    worker = Worker(
+        host,
+        port,
+        slots=slots,
+        name=name,
+        connect_timeout=connect_timeout,
+        throttle=throttle,
+    )
     try:
         asyncio.run(worker.run())
     except (WorkerError, ConnectionError, OSError) as error:

@@ -519,7 +519,15 @@ class SweepService:
         if op == "ping":
             await connection.send({"event": "pong", "id": request_id})
         elif op == "status":
-            await connection.send(self._status_event(request_id))
+            status = self._status_event(request_id)
+            # The distributed executor's scheduler stats come from the
+            # coordinator's own event loop (a blocking round-trip), so they
+            # are gathered off this loop.  The key is only present under a
+            # distributed engine — its presence is the documented signal.
+            cluster = await self._cluster_status()
+            if cluster is not None:
+                status["cluster"] = cluster
+            await connection.send(status)
         elif op == "cancel":
             await self._handle_cancel(connection, request_id)
         elif op == "submit":
@@ -555,6 +563,39 @@ class SweepService:
             )
             return
         entry.cancel()
+
+    async def _cluster_status(self) -> Optional[Dict[str, Any]]:
+        """Scheduler statistics of a distributed engine executor, or None.
+
+        Surfaces the coordinator's status document — per-worker EWMA
+        throughput, chunk split / steal / retry counters, the configured
+        ``chunk_window`` — through the service's own ``status`` op, so an
+        operator watching the front door sees the scheduling tier without
+        opening a second connection to the cluster endpoint.
+        """
+        executor_status = getattr(self.engine.executor, "status", None)
+        if not callable(executor_status):
+            return None
+        assert self._loop is not None
+
+        def _fetch():
+            try:
+                # Short timeout: a wedged coordinator costs a `status` op
+                # two seconds, not the executor's default ten per poll.
+                return executor_status(timeout=2.0)
+            except TypeError:
+                return executor_status()
+
+        try:
+            document = await self._loop.run_in_executor(None, _fetch)
+        except Exception:
+            return None  # a wedged coordinator must not take `status` down
+        # The executor's serial-fallback / not-started placeholders carry
+        # no scheduler content; the spec promises the key only appears
+        # with the coordinator's full document.
+        if not isinstance(document, dict) or "stats" not in document:
+            return None
+        return document
 
     def _status_event(self, request_id: Optional[str]) -> Dict[str, Any]:
         import repro

@@ -1,0 +1,252 @@
+"""Per-worker throughput telemetry behind the adaptive cluster scheduler.
+
+The distributed executor's coordinator (:mod:`repro.cluster.coordinator`)
+measures every worker continuously — how many jobs per second it actually
+completes, how long its chunks take, how punctual its heartbeats are.
+The chunk-completion measurements feed the scheduling policy described in
+``docs/scheduling.md`` (chunk sizes track a target wall-time window per
+worker instead of a fixed job count, and stragglers holding a dispatched
+chunk hostage get split); the heartbeat-gap EWMA is an *observability*
+signal, surfaced through ``cluster status`` for operators diagnosing a
+wedged or overloaded worker — it is not a scheduling input.
+
+This module is deliberately free of any cluster machinery: it is pure
+accounting over ``(jobs, seconds)`` observations, so the scheduling policy
+is unit-testable (and doctest-able) without sockets or subprocesses.
+
+All estimators are exponentially weighted moving averages
+(:func:`ewma`): cheap, O(1) memory, and quick to track a worker whose
+speed *changes* (thermal throttling, a co-tenant stealing its cores) —
+exactly the pools the adaptive scheduler exists for.
+
+>>> stats = WorkerStats("w1")
+>>> stats.observe_chunk(jobs=8, seconds=2.0)     # 4 jobs/s measured
+>>> stats.throughput
+4.0
+>>> stats.observe_chunk(jobs=2, seconds=1.0)     # slowed to 2 jobs/s
+>>> 2.0 < stats.throughput < 4.0                 # EWMA tracks the change
+True
+>>> stats.expected_jobs(window=3.0)              # chunk for a 3 s window
+10
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = ["ewma", "WorkerStats", "TelemetryBook"]
+
+#: Default EWMA smoothing factor: the most recent observation carries 30 %
+#: of the estimate, so ~5 observations flush a stale speed reading.
+DEFAULT_ALPHA = 0.3
+
+
+def ewma(previous: Optional[float], sample: float, alpha: float = DEFAULT_ALPHA) -> float:
+    """One exponentially-weighted moving-average update.
+
+    ``previous`` is the running estimate (``None`` before the first
+    observation, which then passes through unchanged); ``alpha`` is the
+    weight of the new ``sample``.
+
+    >>> ewma(None, 10.0)
+    10.0
+    >>> ewma(10.0, 20.0, alpha=0.5)
+    15.0
+    >>> ewma(10.0, 10.0, alpha=0.3)
+    10.0
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if previous is None:
+        return float(sample)
+    return float(alpha * sample + (1.0 - alpha) * previous)
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """EWMA throughput / latency accounting for one cluster worker.
+
+    Fed by the coordinator from two frame streams:
+
+    * **chunk completions** (:meth:`observe_chunk`) — the ground truth for
+      throughput: ``jobs / seconds`` of each finished chunk, measured
+      dispatch-to-completion on the coordinator's clock (so wire latency
+      is charged to the worker, as it should be — the scheduler cares
+      about *delivered* throughput, not CPU speed);
+    * **heartbeats** (:meth:`observe_heartbeat`) — a latency signal: the
+      gap between consecutive beacons, whose EWMA drifting above the
+      announced interval marks a wedged or overloaded worker even when no
+      chunk has completed to prove it.  Surfaced in ``cluster status``
+      for operators; the scheduler itself acts only on chunk telemetry.
+
+    >>> stats = WorkerStats("w3")
+    >>> stats.throughput is None          # no observation yet: unknown
+    True
+    >>> stats.expected_jobs(1.0) is None  # so no chunk-size estimate either
+    True
+    >>> stats.observe_chunk(jobs=10, seconds=0.5)
+    >>> stats.throughput
+    20.0
+    >>> stats.expected_jobs(0.25)         # 20 jobs/s * 0.25 s window
+    5
+    >>> stats.expected_jobs(0.001)        # never starves a worker entirely
+    1
+    """
+
+    worker_id: str
+    alpha: float = DEFAULT_ALPHA
+    chunks_observed: int = 0
+    jobs_observed: int = 0
+    #: EWMA of delivered jobs/second; ``None`` until the first completion.
+    ewma_throughput: Optional[float] = None
+    #: EWMA of chunk wall time (dispatch -> completion), seconds.
+    ewma_chunk_seconds: Optional[float] = None
+    #: EWMA of the gap between consecutive heartbeats, seconds.
+    ewma_heartbeat_gap: Optional[float] = None
+    #: Monotonic timestamp of the last heartbeat (coordinator clock).
+    last_heartbeat: Optional[float] = None
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Estimated delivered throughput in jobs/second (``None``: unknown)."""
+        return self.ewma_throughput
+
+    def observe_chunk(self, jobs: int, seconds: float) -> None:
+        """Fold one completed chunk (``jobs`` finished in ``seconds``) in.
+
+        Empty chunks (a split can leave a zero-job head) and non-positive
+        durations carry no throughput information and are ignored.
+        """
+        if jobs <= 0 or seconds <= 0.0:
+            return
+        self.chunks_observed += 1
+        self.jobs_observed += jobs
+        self.ewma_throughput = ewma(self.ewma_throughput, jobs / seconds, self.alpha)
+        self.ewma_chunk_seconds = ewma(self.ewma_chunk_seconds, seconds, self.alpha)
+
+    def observe_heartbeat(self, now: float) -> None:
+        """Fold one heartbeat arrival (monotonic timestamp ``now``) in."""
+        if self.last_heartbeat is not None:
+            gap = now - self.last_heartbeat
+            if gap > 0.0:
+                self.ewma_heartbeat_gap = ewma(self.ewma_heartbeat_gap, gap, self.alpha)
+        self.last_heartbeat = now
+
+    def expected_jobs(self, window: float) -> Optional[int]:
+        """Jobs this worker should finish inside a ``window``-second chunk.
+
+        The adaptive scheduler's sizing primitive: ``throughput * window``,
+        floored at one job so even the slowest worker keeps receiving
+        work.  ``None`` while the throughput is still unknown — the
+        scheduler then falls back to its probe chunk size.
+        """
+        if self.ewma_throughput is None:
+            return None
+        return max(1, int(round(self.ewma_throughput * window)))
+
+    def expected_seconds(self, jobs: int) -> Optional[float]:
+        """Predicted wall time for ``jobs`` more jobs on this worker."""
+        if self.ewma_throughput is None or self.ewma_throughput <= 0.0:
+            return None
+        return jobs / self.ewma_throughput
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (surfaced in ``cluster status``)."""
+        return {
+            "throughput_jobs_per_s": self.ewma_throughput,
+            "ewma_chunk_seconds": self.ewma_chunk_seconds,
+            "ewma_heartbeat_gap": self.ewma_heartbeat_gap,
+            "chunks_observed": self.chunks_observed,
+            "jobs_observed": self.jobs_observed,
+        }
+
+
+class TelemetryBook:
+    """Per-worker :class:`WorkerStats`, keyed by worker id.
+
+    The coordinator owns exactly one book; entries are created lazily on
+    first observation and dropped (:meth:`forget`) when their worker dies.
+    Worker ids are per-connection — a reconnecting worker gets a fresh id,
+    hence fresh stats — so a stale speed estimate never outlives the
+    connection that produced it, the pool median never counts the dead,
+    and the book stays bounded under worker churn.
+
+    >>> book = TelemetryBook()
+    >>> book.observe_chunk("w1", jobs=4, seconds=1.0)
+    >>> book.observe_chunk("w2", jobs=1, seconds=1.0)
+    >>> book.get("w1").throughput
+    4.0
+    >>> book.pool_median_throughput()
+    2.5
+    >>> book.forget("w1")
+    >>> book.get("w1") is None
+    True
+    >>> book.get("missing") is None
+    True
+    """
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        self.alpha = alpha
+        self._stats: Dict[str, WorkerStats] = {}
+
+    def _entry(self, worker_id: str) -> WorkerStats:
+        stats = self._stats.get(worker_id)
+        if stats is None:
+            stats = self._stats[worker_id] = WorkerStats(worker_id, alpha=self.alpha)
+        return stats
+
+    def get(self, worker_id: str) -> Optional[WorkerStats]:
+        """Stats of one worker, or ``None`` before its first observation."""
+        return self._stats.get(worker_id)
+
+    def forget(self, worker_id: str) -> None:
+        """Drop one worker's stats (called when its connection dies)."""
+        self._stats.pop(worker_id, None)
+
+    def observe_chunk(self, worker_id: str, jobs: int, seconds: float) -> None:
+        self._entry(worker_id).observe_chunk(jobs, seconds)
+
+    def observe_heartbeat(self, worker_id: str, now: float) -> None:
+        self._entry(worker_id).observe_heartbeat(now)
+
+    def throughputs(self) -> Dict[str, float]:
+        """Known throughputs only — workers still probing are omitted."""
+        return {
+            worker_id: stats.ewma_throughput
+            for worker_id, stats in self._stats.items()
+            if stats.ewma_throughput is not None
+        }
+
+    def pool_median_throughput(self) -> Optional[float]:
+        """Median of the known per-worker throughputs (``None``: no data)."""
+        values = list(self.throughputs().values())
+        if not values:
+            return None
+        return float(statistics.median(values))
+
+    def stragglers(self, factor: float = 2.0) -> Iterable[str]:
+        """Worker ids measurably slower than the pool.
+
+        A worker is a straggler when its throughput is below
+        ``median / factor``; with fewer than two measured workers there is
+        no pool to lag behind.
+
+        >>> book = TelemetryBook()
+        >>> book.observe_chunk("fast", jobs=10, seconds=1.0)
+        >>> book.observe_chunk("slow", jobs=1, seconds=1.0)
+        >>> list(book.stragglers(factor=2.0))
+        ['slow']
+        """
+        throughputs = self.throughputs()
+        if len(throughputs) < 2:
+            return []
+        median = self.pool_median_throughput()
+        assert median is not None
+        threshold = median / max(1.0, factor)
+        return [
+            worker_id
+            for worker_id, value in sorted(throughputs.items())
+            if value < threshold
+        ]

@@ -16,6 +16,10 @@ Covers the tentpole guarantees:
   reach a worker;
 * the sharded Monte-Carlo panel equals the unsharded one bit-for-bit,
   serial or distributed, directly and through the service workload;
+* the adaptive scheduler (protocol v3): ``chunk_window`` sizing from EWMA
+  telemetry, straggler splits with partial-completion acks, and — the
+  determinism tentpole — randomized resize/split/steal/death schedules on
+  heterogeneous (throttled) pools still merging bit-identically to serial;
 * the ``cluster status`` / ``cache info --json`` CLI surfaces work.
 
 Worker subprocesses unpickle job functions by module name; the executor
@@ -74,6 +78,12 @@ def _seeded_value(entropy: int, index: int) -> float:
 def _nap(seconds: float, value: int) -> int:
     time.sleep(seconds)
     return value
+
+
+def _slow_seeded(entropy: int, index: int, seconds: float) -> float:
+    """Seeded deterministic float whose wall time is tunable."""
+    time.sleep(seconds)
+    return _seeded_value(entropy, index)
 
 
 def _boom(message: str) -> None:
@@ -245,6 +255,42 @@ class TestDistributedExecution:
         assert cluster.execute(_seeded_jobs(4)) == SerialExecutor().execute(_seeded_jobs(4))
         assert cluster.status()["alive_workers"] == 2
 
+    def test_oversized_chunk_refits_instead_of_failing(self):
+        """A multi-job chunk over the frame limit is halved and requeued:
+        the sweep completes as long as each single job fits."""
+        executor = DistributedExecutor(workers=1, chunksize=2, start_timeout=START_TIMEOUT)
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        try:
+            # One job's array pickles+base64s to ~5.3 MB (fits the 8 MiB
+            # frame); the 2-job chunk the chunksize asks for does not.
+            jobs = [
+                Job(fn=_array_sum, args=(np.full(500_000, float(i)),), name=f"fat[{i}]")
+                for i in range(4)
+            ]
+            assert executor.execute(jobs) == [500_000.0 * i for i in range(4)]
+            assert executor.status()["stats"]["chunks_refitted"] >= 1
+        finally:
+            executor.close()
+
+    def test_oversized_results_refit_instead_of_failing(self):
+        """The symmetric case: job *inputs* are tiny but a multi-job
+        chunk's pickled results overflow the frame — the worker tags the
+        failure results_overflow and the coordinator refits."""
+        executor = DistributedExecutor(workers=1, chunksize=2, start_timeout=START_TIMEOUT)
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        try:
+            jobs = [Job(fn=_huge_array, args=(500_000,), name=f"out[{i}]") for i in range(4)]
+            results = executor.execute(jobs)
+            assert len(results) == 4
+            assert all(r.shape == (500_000,) for r in results)
+            assert executor.status()["stats"]["chunks_refitted"] >= 1
+        finally:
+            executor.close()
+
     def test_single_job_runs_inline(self, cluster):
         before = cluster.status()["stats"]["chunks_dispatched"]
         assert cluster.execute([Job(fn=_square, args=(7,), name="one")]) == [49]
@@ -396,6 +442,240 @@ class TestWorkerFailure:
                 executor.execute(jobs, progress=progress)
         finally:
             executor.close()
+
+
+# ----------------------------------------------------------------------
+# Adaptive scheduling (protocol v3): windows, splits, telemetry
+# ----------------------------------------------------------------------
+def _spawn_throttled_worker(address, throttle: float, name: str = "throttled"):
+    """Join one deliberately slowed worker to a live cluster endpoint."""
+    from repro.cluster.executor import spawn_worker_process
+
+    host, port = address
+    return spawn_worker_process(
+        f"{host}:{port}", name=name, throttle=throttle, connect_timeout=START_TIMEOUT
+    )
+
+
+def _await_workers(executor: DistributedExecutor, count: int) -> None:
+    executor.wait_for_workers(count, timeout=START_TIMEOUT)
+
+
+class TestChunkProgress:
+    """Worker-side split bookkeeping (the partial-ack invariants)."""
+
+    def test_split_keeps_started_jobs(self):
+        from repro.cluster.worker import ChunkProgress
+
+        state = ChunkProgress()
+        assert state.try_start() and state.try_start()  # jobs 0, 1 started
+        assert state.split(keep=0) == 2  # started jobs can never be given back
+        assert not state.try_start()  # the tail belongs elsewhere now
+        assert state.split(keep=9) == 2  # a later split cannot re-grow the chunk
+
+    def test_split_keep_floor(self):
+        from repro.cluster.worker import ChunkProgress
+
+        state = ChunkProgress()
+        assert state.split(keep=3) == 3  # nothing started: the floor wins
+        for _ in range(3):
+            assert state.try_start()
+        assert not state.try_start()
+
+    def test_cancel_is_independent_of_split(self):
+        from repro.cluster.worker import ChunkProgress
+
+        state = ChunkProgress()
+        state.split(keep=1)
+        assert not state.cancel.is_set()
+        state.cancel.set()
+        assert state.split(keep=0) == 0  # still answers exactly
+
+
+class TestOrphanAccounting:
+    def test_partial_orphan_steal_keeps_timeout_armed(self):
+        """Stealing *some* orphaned work must not disarm the abandonment
+        clock while other runs' spans still wait for a worker."""
+        import asyncio
+
+        from repro.cluster.coordinator import Coordinator, _Run, _Span, _WorkerLink
+
+        async def scenario():
+            coordinator = Coordinator()
+            run_a = _Run([Job(fn=_square, args=(1,), name="a")], None, 1)
+            run_b = _Run([Job(fn=_square, args=(2,), name="b")], None, 1)
+            coordinator._distribute([_Span(run_a, 0, 1), _Span(run_b, 0, 1)])
+            assert coordinator._orphaned_since is not None  # no workers: orphaned
+            thief = _WorkerLink("w1", "w", 0, 1, writer=None)
+            coordinator._links["w1"] = thief
+            assert coordinator._steal_for(thief) is not None
+            # one span is still orphaned: the clock must stay armed
+            assert coordinator._orphans
+            assert coordinator._orphaned_since is not None
+            assert coordinator._steal_for(thief) is not None
+            assert not coordinator._orphans
+            assert coordinator._orphaned_since is None
+
+        asyncio.run(scenario())
+
+
+class TestAdaptiveScheduling:
+    def test_chunk_window_validation(self):
+        with pytest.raises(ValueError):
+            DistributedExecutor(workers=1, chunk_window=0.0)
+        with pytest.raises(ValueError):
+            make_executor("distributed", workers=1, chunk_window=-1.0)
+        with pytest.raises(ValueError, match="does not accept"):
+            make_executor("parallel", chunk_window=0.5)
+        executor = make_executor("distributed", workers=1, chunk_window=0.5)
+        assert executor.chunk_window == 0.5
+        executor.close()  # never started: a no-op
+
+    def test_cli_rejects_chunk_window_on_non_distributed(self, capsys):
+        code = cli_main(
+            ["run", "dse", "--fast", "--quiet", "--chunk-window", "0.5"]
+        )
+        assert code == 2
+        assert "--chunk-window" in capsys.readouterr().err
+
+    def test_adaptive_bit_identical_with_telemetry(self):
+        executor = DistributedExecutor(
+            workers=2,
+            chunk_window=0.05,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=5.0,
+            start_timeout=START_TIMEOUT,
+        )
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        try:
+            jobs = [
+                Job(fn=_slow_seeded, args=(77, i, 0.004), name=f"adapt[{i}]")
+                for i in range(24)
+            ]
+            serial = SerialExecutor().execute(
+                [Job(fn=_slow_seeded, args=(77, i, 0.0), name=f"adapt[{i}]") for i in range(24)]
+            )
+            assert executor.execute(jobs) == serial
+            status = executor.status()
+            assert status["scheduling"] == "adaptive"
+            assert status["chunk_window"] == 0.05
+            for key in ("chunks_split", "splits_requested"):
+                assert key in status["stats"]
+            measured = [
+                w for w in status["workers"]
+                if w["alive"] and w["throughput_jobs_per_s"] is not None
+            ]
+            assert measured, "no worker accumulated EWMA throughput telemetry"
+            for worker in measured:
+                assert worker["throughput_jobs_per_s"] > 0
+                assert worker["ewma_chunk_seconds"] > 0
+        finally:
+            executor.close()
+
+    def test_straggler_split_reassigns_tail(self):
+        """A big probe chunk on a slow worker is split: the fast worker
+        takes the unstarted tail, the partial ack merges bit-identically."""
+        executor = DistributedExecutor(
+            workers=1,
+            chunksize=6,  # oversized probe: lands whole on some worker
+            chunk_window=0.05,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=5.0,
+            start_timeout=START_TIMEOUT,
+        )
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        straggler = None
+        try:
+            straggler = _spawn_throttled_worker(executor.address, throttle=0.25)
+            _await_workers(executor, 2)
+            jobs = [
+                Job(fn=_slow_seeded, args=(31, i, 0.004), name=f"split[{i}]")
+                for i in range(12)
+            ]
+            serial = SerialExecutor().execute(
+                [Job(fn=_slow_seeded, args=(31, i, 0.0), name=f"split[{i}]") for i in range(12)]
+            )
+            assert executor.execute(jobs) == serial
+            status = executor.status()
+            stats = status["stats"]
+            # The straggler's 6-job chunk must have been split; the
+            # counters are the proof (a wall-clock bound would flake on
+            # loaded CI runners — the suite's timeout guards cover hangs).
+            assert stats["splits_requested"] >= 1
+            assert stats["chunks_split"] >= 1
+            # Pool-level telemetry flags the throttled worker (once it has
+            # a measured throughput to compare against the pool median).
+            assert "pool_median_throughput" in status
+            slow = [w for w in status["workers"] if w["name"] == "throttled"]
+            assert slow
+            if slow[0]["throughput_jobs_per_s"] is not None:
+                assert slow[0]["id"] in status["stragglers"]
+        finally:
+            executor.close()
+            if straggler is not None and straggler.poll() is None:
+                straggler.terminate()
+                straggler.wait(timeout=10)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_adversarial_schedules_merge_bit_identical(self, seed):
+        """Randomized resize/split/steal/death sequences vs serial.
+
+        Each trial draws a scheduling regime — window or static, probe
+        size, straggler slowness, and whether a worker is killed mid-run —
+        and the merged result must equal the serial one exactly.
+        """
+        rng = np.random.default_rng(1000 + seed)
+        window = float(rng.uniform(0.02, 0.08)) if rng.random() < 0.75 else None
+        probe = int(rng.integers(1, 6))
+        throttle = float(rng.uniform(0.03, 0.12))
+        kill_one = bool(rng.random() < 0.5)
+        count = int(rng.integers(16, 28))
+        executor = DistributedExecutor(
+            workers=2,
+            chunksize=probe,
+            chunk_window=window,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=2.0,
+            start_timeout=START_TIMEOUT,
+        )
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        straggler = None
+        try:
+            straggler = _spawn_throttled_worker(executor.address, throttle=throttle)
+            _await_workers(executor, 3)
+            jobs = [
+                Job(fn=_slow_seeded, args=(9000 + seed, i, 0.01), name=f"adv[{i}]")
+                for i in range(count)
+            ]
+            serial = SerialExecutor().execute(
+                [
+                    Job(fn=_slow_seeded, args=(9000 + seed, i, 0.0), name=f"adv[{i}]")
+                    for i in range(count)
+                ]
+            )
+            victim = executor.worker_pids[0]
+            killed = []
+
+            def progress(done: int, total: int, label: str) -> None:
+                if kill_one and done >= 3 and not killed:
+                    os.kill(victim, signal.SIGKILL)
+                    killed.append(victim)
+
+            assert executor.execute(jobs, progress=progress) == serial
+            if kill_one:
+                assert killed, "the victim worker was never killed"
+                assert executor.status()["stats"]["workers_lost"] >= 1
+        finally:
+            executor.close()
+            if straggler is not None and straggler.poll() is None:
+                straggler.terminate()
+                straggler.wait(timeout=10)
 
 
 # ----------------------------------------------------------------------

@@ -26,6 +26,7 @@ DOC_FILES = sorted(
 #: satellite added ``>>>`` examples to each).
 DOCTEST_MODULES = [
     "repro.journal",
+    "repro.telemetry",
     "repro.runtime",
     "repro.runtime.cache",
     "repro.runtime.cli",
@@ -45,13 +46,17 @@ def _relative_links(markdown: str):
 
 class TestDocsTree:
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "protocol.md", "operations.md"):
+        for name in ("architecture.md", "protocol.md", "operations.md", "scheduling.md"):
             assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
     def test_readme_links_the_docs_tree(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for name in ("architecture.md", "protocol.md", "operations.md"):
+        for name in ("architecture.md", "protocol.md", "operations.md", "scheduling.md"):
             assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+    def test_architecture_links_scheduling(self):
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+        assert "scheduling.md" in text, "architecture.md does not link scheduling.md"
 
     @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
     def test_relative_links_resolve(self, path):
@@ -78,6 +83,37 @@ class TestDocsTree:
             assert f"`{code}`" in spec, f"error code {code} undocumented"
         for op in ("submit", "cancel", "status", "ping"):
             assert f'"op": "{op}"' in spec, f"service op {op} undocumented"
+        # Cluster protocol v3 (adaptive scheduling): frame names must match
+        # the constructors in repro.cluster.protocol.
+        for op in ("chunk_done", "split_ack", "chunk_failed", "heartbeat"):
+            assert f'"op": "{op}"' in spec, f"cluster op {op} undocumented"
+        for event in ("split", "chunk", "cancel", "welcome", "shutdown"):
+            assert f'"event": "{event}"' in spec, f"cluster event {event} undocumented"
+        # The spec's example frames must build with the real constructors.
+        split = cluster_protocol.split_event("c1", keep=0)
+        assert split["event"] == "split" and split["keep"] == 0
+        ack = cluster_protocol.split_ack_request("c1", kept=3)
+        assert ack["op"] == "split_ack" and ack["kept"] == 3
+        done = cluster_protocol.chunk_done_request("c1", [1, 2])
+        assert done["count"] == 2
+        assert '"kept"' in spec or "`kept`" in spec, "split_ack kept field undocumented"
+        assert "`count`" in spec or '"count"' in spec, "chunk_done count field undocumented"
+
+    def test_scheduling_doc_names_the_shipped_knobs(self):
+        """The scheduler guide must reference the real flags and telemetry
+        fields, so it cannot silently rot as the code moves."""
+        text = (REPO_ROOT / "docs" / "scheduling.md").read_text(encoding="utf-8")
+        for needle in (
+            "--chunk-window",
+            "chunk_window",
+            "throughput_jobs_per_s",
+            "split",
+            "--throttle",
+        ):
+            assert needle in text, f"scheduling.md does not mention {needle}"
+        from repro.cluster.coordinator import SPLIT_AGE_FACTOR
+
+        assert f"SPLIT_AGE_FACTOR = {SPLIT_AGE_FACTOR}" in text
 
 
 class TestDoctests:
