@@ -41,6 +41,13 @@ The package is organised in layers, bottom-up:
   ``python -m repro serve --resume``: jobs a killed server (or its
   embedded cluster coordinator) left interrupted are re-enqueued on
   restart instead of dropped.
+* :mod:`repro.obs` — the process-wide observability layer every tier
+  reports into: a dependency-free metrics registry with a Prometheus
+  exposition endpoint (``--metrics-port`` on ``run`` / ``serve`` /
+  ``worker``), a structured event bus streamed live over the service's
+  ``watch`` op, and cross-tier trace ids that follow each submit from
+  the service through the engine, coordinator and workers (see
+  ``docs/observability.md``).
 
 Engine, service and cluster form the three-tier execution architecture
 (see ``docs/architecture.md``): the engine is the substrate, the service
@@ -63,6 +70,6 @@ runtime unconditionally and the modelling layers only lazily, per
 workload.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = ["__version__"]

@@ -28,7 +28,9 @@ Layout::
     worker.py       Worker: long-lived job runner (python -m repro worker)
     executor.py     DistributedExecutor: the make_executor("distributed")
                     strategy owning the coordinator + local worker pool
-    control.py      status/ping helpers (python -m repro cluster status)
+    control.py      status/ping/watch helpers (python -m repro cluster
+                    status [--watch]); ClusterWatchView folds the live
+                    repro.obs event stream into the per-worker table
 
 Per-worker throughput accounting lives in :mod:`repro.telemetry`; the
 scheduling policy it drives is documented in ``docs/scheduling.md``.
@@ -62,7 +64,14 @@ contribute a shard computed by different model physics.
 
 from __future__ import annotations
 
-from repro.cluster.control import ControlError, fetch_status, format_status, ping
+from repro.cluster.control import (
+    ClusterWatchView,
+    ControlError,
+    fetch_status,
+    format_status,
+    ping,
+    watch_status,
+)
 from repro.cluster.coordinator import ClusterError, Coordinator, WorkerInfo
 from repro.cluster.executor import DistributedExecutor
 from repro.cluster.protocol import CLUSTER_PROTOCOL_VERSION
@@ -71,6 +80,7 @@ from repro.cluster.worker import Worker, WorkerError, parse_address, run_worker
 __all__ = [
     "CLUSTER_PROTOCOL_VERSION",
     "ClusterError",
+    "ClusterWatchView",
     "ControlError",
     "Coordinator",
     "DistributedExecutor",
@@ -82,4 +92,5 @@ __all__ = [
     "parse_address",
     "ping",
     "run_worker",
+    "watch_status",
 ]

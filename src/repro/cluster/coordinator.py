@@ -58,9 +58,9 @@ import dataclasses
 import itertools
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro import wire
+from repro import obs, wire
 from repro.cluster import protocol
 from repro.runtime.executors import CancelEvent, ProgressCallback, SweepCancelled
 from repro.runtime.jobs import Job, code_version
@@ -70,6 +70,34 @@ from repro.telemetry import TelemetryBook, WorkerStats
 #: window that is still running after ``SPLIT_AGE_FACTOR x window`` seconds
 #: while other workers idle marks its worker as a straggler.
 SPLIT_AGE_FACTOR = 1.5
+
+#: Help strings of the coordinator counters; each backs a registry metric
+#: ``repro_cluster_<key>_total`` *and* the per-instance ``stats`` view the
+#: ``status`` op reports (see :class:`repro.obs.CounterGroup`).
+_STAT_HELP = {
+    "runs": "Runs submitted to the coordinator.",
+    "runs_cancelled": "Runs revoked by cooperative cancellation.",
+    "chunks_dispatched": "Chunks sent to workers.",
+    "chunks_completed": "Chunks completed by workers.",
+    "chunks_stolen": "Spans moved by work stealing.",
+    "chunks_retried": "Spans reassigned after a worker death.",
+    "chunks_cancelled": "In-flight chunks revoked by run cancellation.",
+    "chunks_split": "Granted straggler splits (tail reassigned).",
+    "splits_requested": "Straggler split requests sent.",
+    "chunks_refitted": "Chunks halved to fit the wire frame limit.",
+    "jobs_done": "Jobs completed across all runs.",
+    "workers_lost": "Workers declared dead.",
+    "duplicate_results": "Duplicate chunk results discarded.",
+    "scheduler_errors": "Scheduler/reaper iterations that raised.",
+}
+
+_WORKERS_ALIVE = obs.gauge(
+    "repro_cluster_workers_alive_total", "Registered workers currently alive."
+)
+_CHUNK_SECONDS = obs.histogram(
+    "repro_cluster_chunk_seconds",
+    "Dispatch-to-completion wall time of cluster chunks.",
+)
 
 
 class ClusterError(RuntimeError):
@@ -114,11 +142,15 @@ class _Run:
         jobs: Sequence[Job],
         progress: Optional[ProgressCallback],
         chunksize: int,
+        trace: Optional[str] = None,
     ):
         self.id = f"run-{next(self._ids)}"
         self.jobs: List[Job] = list(jobs)
         self.total = len(self.jobs)
         self.chunksize = max(1, int(chunksize))
+        #: Observability id of the originating request; stamped on every
+        #: chunk frame and event this run produces (``None`` = untraced).
+        self.trace = trace
         self.results: List[Any] = [None] * self.total
         self.remaining = self.total
         self.progress = progress
@@ -176,7 +208,16 @@ class _Span:
 class _Chunk:
     """A dispatched slice of one run's jobs, in flight on one worker."""
 
-    __slots__ = ("run", "id", "start", "stop", "attempts", "dispatched_at", "split_requested")
+    __slots__ = (
+        "run",
+        "id",
+        "start",
+        "stop",
+        "attempts",
+        "dispatched_at",
+        "split_requested",
+        "busy_marker",
+    )
 
     def __init__(self, run: _Run, chunk_id: str, start: int, stop: int, attempts: int):
         self.run = run
@@ -186,6 +227,11 @@ class _Chunk:
         self.attempts = attempts
         self.dispatched_at = 0.0
         self.split_requested = False
+        # Busy-integral marker taken at dispatch; the settle-time delta
+        # over wall time is this chunk's mean worker occupancy (how many
+        # chunks ran concurrently), which de-biases EWMA throughput on
+        # multi-slot workers.
+        self.busy_marker = 0.0
 
     def __len__(self) -> int:
         return self.stop - self.start
@@ -340,22 +386,17 @@ class Coordinator:
         self._chunk_ids = itertools.count(1)
         self._code_version = code_version()
         self._stopping = False
-        self.stats: Dict[str, int] = {
-            "runs": 0,
-            "runs_cancelled": 0,
-            "chunks_dispatched": 0,
-            "chunks_completed": 0,
-            "chunks_stolen": 0,
-            "chunks_retried": 0,
-            "chunks_cancelled": 0,
-            "chunks_split": 0,
-            "splits_requested": 0,
-            "chunks_refitted": 0,
-            "jobs_done": 0,
-            "workers_lost": 0,
-            "duplicate_results": 0,
-            "scheduler_errors": 0,
-        }
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._watch_tasks: "set[asyncio.Task]" = set()
+        # Per-instance view over process-wide registry counters: ``status``
+        # reports this coordinator's own counts (zero at birth) while the
+        # Prometheus endpoint scrapes the process-lifetime totals.
+        self.stats = obs.CounterGroup(
+            {
+                key: obs.counter(f"repro_cluster_{key}_total", help_text)
+                for key, help_text in _STAT_HELP.items()
+            }
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -376,6 +417,7 @@ class Coordinator:
             limit=wire.MAX_MESSAGE_BYTES,
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
         self._tasks.append(asyncio.ensure_future(self._scheduler_loop()))
         self._tasks.append(asyncio.ensure_future(self._reaper_loop()))
         return self.address
@@ -397,6 +439,12 @@ class Coordinator:
         for run in list(self._runs.values()):
             run.fail(ClusterError("coordinator stopped"))
         self._runs.clear()
+        # Watch streams never end on their own; cancel them before the
+        # regular background tasks so shutdown cannot block on a watcher.
+        for task in list(self._watch_tasks):
+            task.cancel()
+        await asyncio.gather(*self._watch_tasks, return_exceptions=True)
+        self._watch_tasks.clear()
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -419,6 +467,7 @@ class Coordinator:
         chunksize: int,
         progress: Optional[ProgressCallback] = None,
         cancel_event: Optional[CancelEvent] = None,
+        trace: Optional[str] = None,
     ) -> List[Any]:
         """Execute ``jobs`` across the cluster; results in submission order.
 
@@ -436,13 +485,18 @@ class Coordinator:
         once set, revokes the run's queued spans, tells workers to drop
         its in-flight chunks (``cancel`` events) and fails the run with
         :class:`~repro.runtime.SweepCancelled`.
+
+        ``trace`` is the originating request's observability id; it rides
+        every chunk frame of this run (protocol v3, optional field) and is
+        echoed back on ``chunk_done``, so metrics and ``watch`` events stay
+        attributable end to end.
         """
         jobs = list(jobs)
         if not jobs:
             return []
-        run = _Run(jobs, progress, chunksize)
+        run = _Run(jobs, progress, chunksize, trace=trace)
         self._runs[run.id] = run
-        self.stats["runs"] += 1
+        self.stats.inc("runs")
         self._distribute(self._initial_spans(run))
         self._kick.set()
         watcher: Optional["asyncio.Task"] = None
@@ -494,7 +548,7 @@ class Coordinator:
         """
         if run.done:
             return
-        self.stats["runs_cancelled"] += 1
+        self.stats.inc("runs_cancelled")
         self._drop_run_chunks(run)
         for link in self._alive_links():
             doomed = [
@@ -504,7 +558,10 @@ class Coordinator:
             ]
             for chunk_id in doomed:
                 link.inflight.pop(chunk_id, None)
-                self.stats["chunks_cancelled"] += 1
+                # Settle the occupancy bracket opened at dispatch; the
+                # revoked chunk contributes no throughput sample.
+                self.telemetry.chunk_settled(link.id, time.monotonic())
+                self.stats.inc("chunks_cancelled")
                 await link.send(protocol.cancel_event(chunk_id))
         run.fail(SweepCancelled(f"run {run.id} cancelled"))
         self._kick.set()
@@ -578,7 +635,15 @@ class Coordinator:
                 got += len(span)
         if not taken:
             return None
-        self.stats["chunks_stolen"] += len(taken)
+        self.stats.inc("chunks_stolen", len(taken))
+        obs.EVENTS.emit(
+            "chunk_stolen",
+            trace=taken[0].run.trace,
+            thief=thief.id,
+            victim=victim.id,
+            spans=len(taken),
+            jobs=got,
+        )
         first, rest = taken[0], taken[1:]
         thief.queue.extend(reversed(rest))
         return first
@@ -595,7 +660,7 @@ class Coordinator:
         run = chunk.run
         if run.max_chunk_jobs is None or half < run.max_chunk_jobs:
             run.max_chunk_jobs = half
-        self.stats["chunks_refitted"] += 1
+        self.stats.inc("chunks_refitted")
         return (
             _Span(run, chunk.start, middle, chunk.attempts),
             _Span(run, middle, chunk.stop, chunk.attempts),
@@ -612,8 +677,13 @@ class Coordinator:
         if self.chunk_window is None:
             return run.chunksize
         stats = self.telemetry.get(link.id)
+        # Per-slot sizing: EWMA throughput measures the whole worker, but
+        # a chunk occupies one slot — a 2-slot worker gets window-sized
+        # chunks per slot, not double-window chunks.
         expected = (
-            stats.expected_jobs(self.chunk_window) if stats is not None else None
+            stats.expected_jobs(self.chunk_window, slots=link.slots)
+            if stats is not None
+            else None
         )
         if expected is None:
             return run.chunksize
@@ -654,7 +724,9 @@ class Coordinator:
             if chunk is None:
                 return
             try:
-                frame = wire.encode_message(protocol.chunk_event(chunk.id, chunk.jobs))
+                frame = wire.encode_message(
+                    protocol.chunk_event(chunk.id, chunk.jobs, trace=chunk.run.trace)
+                )
             except Exception as error:
                 if len(chunk) > 1:
                     # The chunk — not any single job — overflows the frame
@@ -677,9 +749,20 @@ class Coordinator:
                     )
                 )
                 continue
-            chunk.dispatched_at = time.monotonic()
+            now = time.monotonic()
+            chunk.dispatched_at = now
+            # Open the occupancy bracket: the matching chunk_settled at
+            # completion yields this chunk's mean concurrent-chunk count.
+            chunk.busy_marker = self.telemetry.chunk_dispatched(link.id, now)
             link.inflight[chunk.id] = chunk
-            self.stats["chunks_dispatched"] += 1
+            self.stats.inc("chunks_dispatched")
+            obs.EVENTS.emit(
+                "chunk_dispatched",
+                trace=chunk.run.trace,
+                worker=link.id,
+                chunk=chunk.id,
+                jobs=len(chunk),
+            )
             if not await link.send_bytes(frame):
                 self._on_worker_death(link)
                 return
@@ -697,7 +780,7 @@ class Coordinator:
             except Exception:
                 # A scheduling bug must degrade to a retry on the next kick,
                 # never to a dead scheduler silently freezing every run.
-                self.stats["scheduler_errors"] += 1
+                self.stats.inc("scheduler_errors")
                 self._kick.set()
                 await asyncio.sleep(self.heartbeat_interval)
 
@@ -733,7 +816,7 @@ class Coordinator:
                     # frame and would skew splits_requested.
                     continue
                 chunk.split_requested = True
-                self.stats["splits_requested"] += 1
+                self.stats.inc("splits_requested")
                 await link.send(protocol.split_event(chunk.id, keep=0))
 
     def _split_threshold(self, link: _WorkerLink, chunk: _Chunk) -> float:
@@ -748,7 +831,11 @@ class Coordinator:
         assert self.chunk_window is not None
         base = SPLIT_AGE_FACTOR * self.chunk_window
         stats = self.telemetry.get(link.id)
-        expected = stats.expected_seconds(len(chunk)) if stats is not None else None
+        expected = (
+            stats.expected_seconds(len(chunk), slots=link.slots)
+            if stats is not None
+            else None
+        )
         if expected is None:
             return base
         return min(max(base, 0.5 * expected), 4.0 * base)
@@ -774,7 +861,7 @@ class Coordinator:
             except asyncio.CancelledError:
                 raise
             except Exception:
-                self.stats["scheduler_errors"] += 1
+                self.stats.inc("scheduler_errors")
             if (
                 self._orphans
                 and not self._alive_links()
@@ -797,7 +884,14 @@ class Coordinator:
         if not link.alive:
             return
         link.alive = False
-        self.stats["workers_lost"] += 1
+        self.stats.inc("workers_lost")
+        _WORKERS_ALIVE.dec()
+        obs.EVENTS.emit(
+            "worker_lost",
+            worker=link.id,
+            name=link.name,
+            stranded_chunks=len(link.inflight),
+        )
         # Dead workers never return under the same id, so their speed
         # estimates must not pollute the pool median / straggler view.
         self.telemetry.forget(link.id)
@@ -819,7 +913,7 @@ class Coordinator:
                     )
                 )
                 continue
-            self.stats["chunks_retried"] += 1
+            self.stats.inc("chunks_retried")
             reassign.append(span)
         if reassign:
             self._distribute(reassign)
@@ -840,6 +934,7 @@ class Coordinator:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         link: Optional[_WorkerLink] = None
+        watch_cleanups: List[Callable[[], None]] = []
         try:
             while True:
                 try:
@@ -875,11 +970,20 @@ class Coordinator:
                     await self._send_raw(writer, self.status_event(message.get("id")))
                 elif op == "ping":
                     await self._send_raw(writer, {"event": "pong", "id": message.get("id")})
+                elif op == "watch":
+                    await self._send_raw(
+                        writer, {"event": "watching", "id": message.get("id")}
+                    )
+                    watch_cleanups.append(
+                        self._start_watch(writer, message.get("id"))
+                    )
                 else:
                     await self._send_raw(
                         writer, protocol.error_event(f"unexpected op {op!r}")
                     )
         finally:
+            for cleanup in watch_cleanups:
+                cleanup()
             if link is not None:
                 self._on_worker_death(link)
             try:
@@ -895,6 +999,65 @@ class Coordinator:
             await writer.drain()
         except (ConnectionError, RuntimeError, OSError):
             pass
+
+    def _start_watch(
+        self, writer: asyncio.StreamWriter, request_id: Any
+    ) -> Callable[[], None]:
+        """Stream :mod:`repro.obs` events to one control client.
+
+        The bus delivers synchronously on whatever thread emitted, so a
+        subscriber bridges onto the coordinator loop and into a bounded
+        queue; a slow watcher drops its *oldest* frames (live views want
+        the present, not a complete history) and can never stall the
+        coordinator.  Returns the cleanup closure the connection handler
+        runs on disconnect.
+        """
+        loop = self._loop or asyncio.get_running_loop()
+        queue: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue(maxsize=1024)
+
+        def enqueue(event: Dict[str, Any]) -> None:
+            while True:
+                try:
+                    queue.put_nowait(event)
+                    return
+                except asyncio.QueueFull:
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        pass
+
+        def bridge(event: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(enqueue, event)
+
+        obs.EVENTS.subscribe(bridge)
+
+        async def pump() -> None:
+            while True:
+                event = await queue.get()
+                # Frames are single write() calls, so interleaving with
+                # reply frames from the read loop stays well-formed.
+                writer.write(
+                    wire.encode_message(
+                        {"event": "obs", "id": request_id, "data": event}
+                    )
+                )
+                await writer.drain()
+
+        task = asyncio.ensure_future(pump())
+        self._watch_tasks.add(task)
+
+        def _done(finished: "asyncio.Task") -> None:
+            self._watch_tasks.discard(finished)
+            if not finished.cancelled():
+                finished.exception()  # connection died mid-write: consumed
+
+        task.add_done_callback(_done)
+
+        def cleanup() -> None:
+            obs.EVENTS.unsubscribe(bridge)
+            task.cancel()
+
+        return cleanup
 
     async def _handle_hello(
         self, message: Dict[str, Any], writer: asyncio.StreamWriter
@@ -929,6 +1092,10 @@ class Coordinator:
             writer=writer,
         )
         self._links[worker_id] = link
+        _WORKERS_ALIVE.inc()
+        obs.EVENTS.emit(
+            "worker_joined", worker=worker_id, name=link.name, slots=link.slots
+        )
         await link.send(protocol.welcome_event(worker_id, self.heartbeat_interval))
         self._kick.set()  # a fresh worker immediately steals backlog
         return link
@@ -939,8 +1106,12 @@ class Coordinator:
             # Completion for a chunk this worker no longer owns (it was
             # presumed dead and the chunk reassigned).  Results are
             # deterministic, so dropping the duplicate is safe.
-            self.stats["duplicate_results"] += 1
+            self.stats.inc("duplicate_results")
             return
+        # Close the occupancy bracket opened at dispatch, whatever the
+        # frame's fate below: the chunk has left the worker either way.
+        settled_at = time.monotonic()
+        busy_integral = self.telemetry.chunk_settled(link.id, settled_at)
         try:
             results = protocol.unpack_results(str(message.get("results", "")))
         except Exception as error:
@@ -968,13 +1139,28 @@ class Coordinator:
                 )
             )
             return
-        self.telemetry.observe_chunk(
-            link.id, len(results), time.monotonic() - chunk.dispatched_at
-        )
+        seconds = settled_at - chunk.dispatched_at
+        # Mean concurrent chunks on this worker over the chunk's lifetime:
+        # throughput samples on multi-slot workers are scaled back to the
+        # whole-worker rate, fixing the under-estimate that made the
+        # adaptive sizer cut starvation-sized chunks for parallel workers.
+        occupancy = (busy_integral - chunk.busy_marker) / seconds if seconds > 0 else 1.0
+        self.telemetry.observe_chunk(link.id, len(results), seconds, occupancy=occupancy)
+        _CHUNK_SECONDS.observe(seconds)
         link.chunks_done += 1
         link.jobs_done += len(results)
-        self.stats["chunks_completed"] += 1
-        self.stats["jobs_done"] += len(results)
+        self.stats.inc("chunks_completed")
+        self.stats.inc("jobs_done", len(results))
+        obs.EVENTS.emit(
+            "chunk_done",
+            # Prefer the worker's echoed trace: its presence proves the id
+            # crossed the wire both ways, not just coordinator bookkeeping.
+            trace=message.get("trace") or chunk.run.trace,
+            worker=link.id,
+            chunk=chunk.id,
+            jobs=len(results),
+            seconds=seconds,
+        )
         chunk.run.complete_chunk(chunk, results)
         self._kick.set()
 
@@ -996,15 +1182,24 @@ class Coordinator:
             return
         tail = _Span(chunk.run, chunk.start + kept, chunk.stop, chunk.attempts)
         chunk.stop = chunk.start + kept
-        self.stats["chunks_split"] += 1
+        self.stats.inc("chunks_split")
+        obs.EVENTS.emit(
+            "chunk_split",
+            trace=chunk.run.trace,
+            worker=link.id,
+            chunk=chunk.id,
+            kept=kept,
+            reassigned=len(tail),
+        )
         self._distribute([tail], exclude=link)
         self._kick.set()
 
     def _handle_chunk_failed(self, link: _WorkerLink, message: Dict[str, Any]) -> None:
         chunk = link.inflight.pop(str(message.get("chunk")), None)
         if chunk is None:
-            self.stats["duplicate_results"] += 1
+            self.stats.inc("duplicate_results")
             return
+        self.telemetry.chunk_settled(link.id, time.monotonic())
         if (
             message.get("code") == protocol.RESULTS_OVERFLOW
             and len(chunk) > 1

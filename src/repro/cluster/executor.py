@@ -351,6 +351,7 @@ class DistributedExecutor:
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
         cancel: Optional[CancelEvent] = None,
+        trace: Optional[str] = None,
     ) -> List[Any]:
         """Run ``jobs`` across the cluster; results in submission order.
 
@@ -359,7 +360,10 @@ class DistributedExecutor:
         vectorised batching is an in-process strategy.  A set ``cancel``
         event is forwarded to the coordinator, which revokes the run's
         queued chunks and tells workers to drop in-flight ones; the call
-        then raises :class:`~repro.runtime.SweepCancelled`.
+        then raises :class:`~repro.runtime.SweepCancelled`.  ``trace``
+        (the originating request's observability id, see :mod:`repro.obs`)
+        rides every chunk frame of the run and is echoed by workers, so
+        cross-tier metrics and ``watch`` events stay attributable.
         """
         if len(jobs) <= 1:
             return SerialExecutor().execute(jobs, progress, cancel=cancel)
@@ -370,7 +374,9 @@ class DistributedExecutor:
         assert self.coordinator is not None and self._loop is not None
         chunksize = self.chunksize or self._default_chunksize(len(jobs))
         future = asyncio.run_coroutine_threadsafe(
-            self.coordinator.run(jobs, chunksize, progress=progress, cancel_event=cancel),
+            self.coordinator.run(
+                jobs, chunksize, progress=progress, cancel_event=cancel, trace=trace
+            ),
             self._loop,
         )
         return future.result()

@@ -17,12 +17,14 @@ to a :class:`~repro.cluster.coordinator.Coordinator`:
     Periodic liveness beacon; a worker silent for longer than the
     coordinator's heartbeat timeout is declared dead and its chunks are
     reassigned.
-``{"op": "chunk_done", "chunk": <id>, "results": <blob>, "count": N}``
+``{"op": "chunk_done", "chunk": <id>, "results": <blob>, "count": N,
+   ["trace": <id>]}``
     One finished chunk; ``results`` is the pickled result list
     (:func:`pack_results`) and ``count`` its length.  After a granted
     ``split`` this is a **partial-completion ack**: ``count`` equals the
     ``kept`` value of the preceding ``split_ack`` and the results cover
-    only the kept prefix of the chunk's jobs.
+    only the kept prefix of the chunk's jobs.  ``trace`` echoes the
+    optional observability id the chunk was dispatched with.
 ``{"op": "split_ack", "chunk": <id>, "kept": K}``
     Answer to a coordinator ``split`` event (protocol v3).  ``K`` is the
     number of leading jobs the worker keeps (already started jobs can
@@ -45,13 +47,22 @@ to a :class:`~repro.cluster.coordinator.Coordinator`:
     steal / retry counters.
 ``{"op": "ping", "id": ...}``
     Answered with ``pong``.
+``{"op": "watch", "id": ...}``
+    Answered with ``{"event": "watching", "id": ...}`` and then a live
+    stream of ``{"event": "obs", "id": ..., "data": {...}}`` frames, one
+    per :mod:`repro.obs` event (``python -m repro cluster status
+    --watch`` drives its table from this stream).  The stream ends when
+    the client disconnects or the coordinator shuts down.
 
 Coordinator -> worker events:
 
 ``welcome``   — registration accepted; carries ``worker`` (assigned id) and
                 ``heartbeat_seconds``.
 ``chunk``     — one chunk of jobs to run: ``chunk`` (id) plus ``jobs``
-                (:func:`pack_jobs` blob).
+                (:func:`pack_jobs` blob), plus an optional ``trace``
+                observability id (absent when the run has none — old
+                workers simply never see the field, so v3 stays
+                wire-compatible).
 ``split``     — give back the unstarted tail of one in-flight chunk
                 (``chunk`` id, ``keep`` floor): the adaptive scheduler
                 detected a straggler and wants to reassign the tail to an
@@ -175,18 +186,35 @@ def heartbeat_request(worker_id: str) -> Dict[str, Any]:
     return {"op": "heartbeat", "worker": worker_id}
 
 
-def chunk_event(chunk_id: str, jobs: Sequence[Job]) -> Dict[str, Any]:
-    return {"event": "chunk", "chunk": chunk_id, "jobs": pack_jobs(jobs)}
+def chunk_event(
+    chunk_id: str, jobs: Sequence[Job], trace: Optional[str] = None
+) -> Dict[str, Any]:
+    """One chunk of work.  ``trace`` (optional, protocol v3 stays
+    wire-compatible: absent on the wire when ``None``) is the originating
+    request's observability id; workers echo it on ``chunk_done`` so a
+    completion stays attributable across tiers."""
+    message = {"event": "chunk", "chunk": chunk_id, "jobs": pack_jobs(jobs)}
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
-def chunk_done_request(chunk_id: str, results: Sequence[Any]) -> Dict[str, Any]:
-    """Completion ack; ``count`` < the dispatched job count after a split."""
-    return {
+def chunk_done_request(
+    chunk_id: str, results: Sequence[Any], trace: Optional[str] = None
+) -> Dict[str, Any]:
+    """Completion ack; ``count`` < the dispatched job count after a split.
+
+    ``trace`` echoes the optional trace id of the ``chunk`` event that
+    dispatched this work (omitted from the frame when ``None``)."""
+    message = {
         "op": "chunk_done",
         "chunk": chunk_id,
         "results": pack_results(results),
         "count": len(results),
     }
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
 def split_event(chunk_id: str, keep: int) -> Dict[str, Any]:

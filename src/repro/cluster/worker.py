@@ -43,10 +43,23 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro import wire
+from repro import obs, wire
 from repro.cluster import protocol
 from repro.runtime.executors import SweepCancelled
 from repro.runtime.jobs import Job, code_version
+
+# Worker-process metrics, scraped from the worker's own --metrics-port
+# endpoint (workers are separate processes; the coordinator's registry
+# cannot see them).
+_CHUNKS_DONE = obs.counter(
+    "repro_worker_chunks_done_total", "Chunks completed by this worker process."
+)
+_JOBS_DONE = obs.counter(
+    "repro_worker_jobs_done_total", "Jobs completed by this worker process."
+)
+_CHUNK_SECONDS = obs.histogram(
+    "repro_worker_chunk_seconds", "Wall time of chunks executed by this worker."
+)
 
 
 class ChunkProgress:
@@ -166,6 +179,11 @@ class Worker:
         ``benchmarks/bench_adaptive_scheduling.py`` and the heterogeneous
         pool runbook in ``docs/operations.md``).  Never set it in
         production pools.
+    metrics_port:
+        When set, serve this worker process's Prometheus metrics
+        (``repro_worker_*``) on ``127.0.0.1:metrics_port`` for the
+        lifetime of the connection (``--metrics-port``; 0 binds an
+        ephemeral port, printed on start).
     """
 
     def __init__(
@@ -176,6 +194,7 @@ class Worker:
         name: Optional[str] = None,
         connect_timeout: float = 10.0,
         throttle: float = 0.0,
+        metrics_port: Optional[int] = None,
     ):
         if slots < 1:
             raise ValueError("slots must be at least 1")
@@ -187,11 +206,20 @@ class Worker:
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.connect_timeout = connect_timeout
         self.throttle = throttle
+        self.metrics_port = metrics_port
         self.worker_id: Optional[str] = None
         self.chunks_done = 0
 
     async def run(self) -> None:
         """Serve until the coordinator shuts us down or disappears."""
+        metrics_server: Optional[obs.MetricsServer] = None
+        if self.metrics_port is not None:
+            metrics_server = obs.MetricsServer(port=self.metrics_port)
+            await metrics_server.start()
+            print(
+                f"worker metrics on http://127.0.0.1:{metrics_server.port}/metrics",
+                flush=True,
+            )
         reader, writer = await wire.open_connection(
             self.host, self.port, timeout=self.connect_timeout
         )
@@ -229,11 +257,14 @@ class Worker:
                     await asyncio.sleep(interval)
                     await send(protocol.heartbeat_request(self.worker_id or ""))
 
-            async def run_chunk(chunk_id: str, blob: str) -> None:
+            async def run_chunk(
+                chunk_id: str, blob: str, trace: Optional[str] = None
+            ) -> None:
                 # The state was registered by the read loop when the chunk
                 # arrived, so a `cancel` or `split` processed before this
                 # task first runs is still seen.
                 state = chunk_states.get(chunk_id) or ChunkProgress()
+                started = time.monotonic()
                 try:
                     jobs = protocol.unpack_jobs(blob)
                     results = await loop.run_in_executor(
@@ -257,7 +288,7 @@ class Worker:
                     return
                 try:
                     reply = wire.encode_message(
-                        protocol.chunk_done_request(chunk_id, results)
+                        protocol.chunk_done_request(chunk_id, results, trace=trace)
                     )
                 except wire.ProtocolError as error:
                     # Results too large for one frame.  Tagged with the
@@ -280,6 +311,9 @@ class Worker:
                     writer.write(reply)
                     await writer.drain()
                 self.chunks_done += 1
+                _CHUNKS_DONE.inc()
+                _JOBS_DONE.inc(len(results))
+                _CHUNK_SECONDS.observe(time.monotonic() - started)
 
             def reap_chunk_task(task: "asyncio.Task") -> None:
                 chunk_tasks.discard(task)
@@ -294,8 +328,13 @@ class Worker:
                 if message.get("event") == "chunk":
                     chunk_id = str(message.get("chunk"))
                     chunk_states[chunk_id] = ChunkProgress()
+                    trace = message.get("trace")
                     task = asyncio.ensure_future(
-                        run_chunk(chunk_id, str(message.get("jobs", "")))
+                        run_chunk(
+                            chunk_id,
+                            str(message.get("jobs", "")),
+                            trace=str(trace) if trace is not None else None,
+                        )
                     )
                     chunk_tasks.add(task)
                     task.add_done_callback(reap_chunk_task)
@@ -334,6 +373,8 @@ class Worker:
                 return_exceptions=True,
             )
             pool.shutdown(wait=False, cancel_futures=True)
+            if metrics_server is not None:
+                await metrics_server.stop()
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -347,6 +388,7 @@ def run_worker(
     name: Optional[str] = None,
     connect_timeout: float = 10.0,
     throttle: float = 0.0,
+    metrics_port: Optional[int] = None,
 ) -> int:
     """Synchronous entry point used by ``python -m repro worker``.
 
@@ -365,6 +407,9 @@ def run_worker(
     throttle:
         Artificial per-job delay in seconds — the deliberate-straggler
         chaos knob (``--throttle``); keep 0 in production pools.
+    metrics_port:
+        Serve this worker's Prometheus metrics on this port while the
+        worker runs (``--metrics-port``; 0 picks an ephemeral port).
 
     Returns the process exit code: ``0`` on clean shutdown (coordinator
     closed the cluster), ``1`` on registration / transport failure —
@@ -384,6 +429,7 @@ def run_worker(
         name=name,
         connect_timeout=connect_timeout,
         throttle=throttle,
+        metrics_port=metrics_port,
     )
     try:
         asyncio.run(worker.run())

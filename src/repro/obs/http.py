@@ -1,0 +1,148 @@
+"""Prometheus exposition endpoint: ``GET /metrics`` over plain asyncio.
+
+A deliberately tiny HTTP/1.0 server — no frameworks, no dependencies —
+that answers ``GET /metrics`` (or ``/``) with
+:meth:`~repro.obs.metrics.MetricsRegistry.render` and the standard
+``text/plain; version=0.0.4`` content type Prometheus scrapers expect.
+Anything else is a 404; anything that is not a ``GET`` is a 400.  Every
+response closes the connection (``Connection: close``), which keeps the
+server one screenful of code and is exactly how scrape clients behave.
+
+Embedding:
+
+* the service (``python -m repro serve --metrics-port N``) and the
+  cluster :class:`~repro.cluster.worker.Worker` start it on their own
+  event loop via :meth:`MetricsServer.start`;
+* loop-less hosts (``python -m repro run --metrics-port N``, whose
+  coordinator lives on the distributed executor's private thread) use
+  :meth:`MetricsServer.start_in_thread`, which runs a daemon event loop
+  just for the endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "MetricsServer"]
+
+#: The exposition-format content type scrapers negotiate on.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SCRAPES_TOTAL = REGISTRY.counter(
+    "repro_obs_scrapes_total",
+    "HTTP requests answered by the metrics endpoint, by status code.",
+    labels=("code",),
+)
+
+
+class MetricsServer:
+    """Serve one registry's exposition text on ``host:port``.
+
+    ``port=0`` binds an ephemeral port; the bound port is published on
+    ``self.port`` after :meth:`start` (or :meth:`start_in_thread`)
+    returns, which is how tests and the CLI banner discover it.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry if registry is not None else REGISTRY
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    async def start(self) -> "MetricsServer":
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            while True:  # drain headers; scrape requests have no body
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                code, reason, body = 400, "Bad Request", "metrics endpoint speaks GET only\n"
+            elif parts[1].split("?", 1)[0] in ("/metrics", "/"):
+                code, reason, body = 200, "OK", self.registry.render()
+            else:
+                code, reason, body = 404, "Not Found", "try /metrics\n"
+            payload = body.encode("utf-8")
+            _SCRAPES_TOTAL.inc(code=str(code))
+            writer.write(
+                (
+                    f"HTTP/1.0 {code} {reason}\r\n"
+                    f"Content-Type: {CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(payload)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Loop-less hosts: run the endpoint on a private daemon thread
+    # ------------------------------------------------------------------
+    def start_in_thread(self, timeout: float = 10.0) -> "MetricsServer":
+        """Start the endpoint on its own daemon event-loop thread."""
+        started = threading.Event()
+        failure: list = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._thread_loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except Exception as error:  # bind failure: surface to caller
+                failure.append(error)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop())
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, name="repro-metrics", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("metrics endpoint failed to start in time")
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop_in_thread(self, timeout: float = 10.0) -> None:
+        if self._thread_loop is not None:
+            self._thread_loop.call_soon_threadsafe(self._thread_loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._thread = None
+        self._thread_loop = None

@@ -49,8 +49,10 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.runtime.cache import Artifact, ArtifactCache, CacheStats, default_cache_dir
 from repro.runtime.executors import (
     BatchExecutor,
@@ -84,6 +86,15 @@ __all__ = [
     "job_key",
     "make_executor",
 ]
+
+
+# Process-wide mirrors of the per-instance EngineStats counters, so the
+# Prometheus endpoint sees every engine in the process with no polling.
+_SWEEPS_TOTAL = obs.counter("repro_engine_sweeps_total", "Sweeps started.")
+_JOBS_SUBMITTED = obs.counter("repro_engine_jobs_submitted_total", "Jobs submitted to engines.")
+_JOBS_EXECUTED = obs.counter("repro_engine_jobs_executed_total", "Jobs actually executed (cache misses).")
+_CACHE_HITS = obs.counter("repro_engine_cache_hits_total", "Jobs served from the artifact cache.")
+_RUN_SECONDS = obs.histogram("repro_engine_run_seconds", "Wall time of completed engine runs.")
 
 
 @dataclasses.dataclass
@@ -157,6 +168,10 @@ class SweepEngine:
         self.cache = cache
         self.progress = progress
         self.cancel_event = cancel_event
+        # Trace id of the originating request (set per engine view by the
+        # serving tier); stamped on every observability event this run
+        # emits and forwarded to trace-aware executors.
+        self.trace_id: Optional[str] = None
         self.stats = EngineStats()
         # Counter updates are read-modify-write; the serving layer runs
         # sweeps from several worker threads against shallow engine copies
@@ -189,9 +204,14 @@ class SweepEngine:
         spec = work if isinstance(work, SweepSpec) else SweepSpec("sweep", list(work))
         progress = progress if progress is not None else self.progress
         cancel = cancel_event if cancel_event is not None else self.cancel_event
+        trace = self.trace_id
+        started = time.monotonic()
         with self._stats_lock:
             self.stats.sweeps += 1
             self.stats.jobs_submitted += len(spec.jobs)
+        _SWEEPS_TOTAL.inc()
+        _JOBS_SUBMITTED.inc(len(spec.jobs))
+        obs.EVENTS.emit("run_started", trace=trace, sweep=spec.name, jobs=len(spec.jobs))
 
         # Progress is always reported against the true sweep size: cache
         # hits count as completed work, so a warm run still emits events
@@ -209,12 +229,16 @@ class SweepEngine:
                     results[index] = job.decode(artifact)
                     with self._stats_lock:
                         self.stats.cache_hits += 1
+                    _CACHE_HITS.inc()
                     hits += 1
                     if progress is not None:
                         progress(hits, total, f"{job.name or 'job'} (cached)")
                     continue
             pending.append((index, job))
 
+        obs.EVENTS.emit(
+            "cache_resolved", trace=trace, sweep=spec.name, hits=hits, pending=len(pending)
+        )
         if pending:
             pending_jobs = [job for _, job in pending]
             executor_progress = None
@@ -224,26 +248,37 @@ class SweepEngine:
                 def executor_progress(done: int, _executed_total: int, label: str) -> None:
                     progress(offset + done, total, label)
 
+            # Optional keywords are only forwarded when armed, so
+            # third-party executors that predate the cancel / trace
+            # contracts keep working for every plain run.
+            extra = {}
             if cancel is not None:
-                # The keyword is only forwarded when cancellation is armed,
-                # so third-party executors that predate the contract keep
-                # working for every non-cancellable run.
-                executed = self.executor.execute(
-                    pending_jobs,
-                    progress=executor_progress,
-                    batch_fn=spec.batch_fn,
-                    cancel=cancel,
-                )
-            else:
-                executed = self.executor.execute(
-                    pending_jobs, progress=executor_progress, batch_fn=spec.batch_fn
-                )
+                extra["cancel"] = cancel
+            if trace is not None:
+                extra["trace"] = trace
+            executed = self.executor.execute(
+                pending_jobs,
+                progress=executor_progress,
+                batch_fn=spec.batch_fn,
+                **extra,
+            )
             with self._stats_lock:
                 self.stats.jobs_executed += len(pending_jobs)
+            _JOBS_EXECUTED.inc(len(pending_jobs))
             for (index, job), value in zip(pending, executed):
                 results[index] = value
                 if self.cache is not None and job.cacheable:
                     self.cache.put(job.key, job.encode(value))
+        elapsed = time.monotonic() - started
+        _RUN_SECONDS.observe(elapsed)
+        obs.EVENTS.emit(
+            "run_finished",
+            trace=trace,
+            sweep=spec.name,
+            jobs=total,
+            executed=len(pending),
+            seconds=elapsed,
+        )
         return results
 
     def run_one(self, job: Job) -> Any:

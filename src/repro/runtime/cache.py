@@ -45,7 +45,22 @@ from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
+
 _META_KEY = "__meta__"
+
+# Process-wide mirrors of the per-instance CacheStats counters (one label
+# per accounting event), plus the footprint gauge: `status`, `cache info`
+# and the Prometheus endpoint all read the same accounting.
+_CACHE_EVENTS = obs.counter(
+    "repro_cache_events_total",
+    "Artifact-cache accounting events (hit/miss/write/corrupt/evict).",
+    labels=("event",),
+)
+_CACHE_SIZE = obs.gauge(
+    "repro_cache_size_bytes",
+    "Last measured on-disk footprint of the artifact cache.",
+)
 
 # A tmp file this old cannot belong to an in-flight put(); evict() treats it
 # as garbage from a crashed writer.  clear() sweeps tmp files regardless.
@@ -171,6 +186,8 @@ class ArtifactCache:
         if not path.exists():
             with self._lock:
                 self.stats.misses += 1
+            _CACHE_EVENTS.inc(event="miss")
+            obs.EVENTS.emit("cache_miss", key=key)
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
@@ -183,6 +200,9 @@ class ArtifactCache:
             with self._lock:
                 self.stats.corrupt_dropped += 1
                 self.stats.misses += 1
+            _CACHE_EVENTS.inc(event="corrupt")
+            _CACHE_EVENTS.inc(event="miss")
+            obs.EVENTS.emit("cache_miss", key=key, corrupt=True)
             try:
                 path.unlink()
             except OSError:
@@ -190,6 +210,8 @@ class ArtifactCache:
             return None
         with self._lock:
             self.stats.hits += 1
+        _CACHE_EVENTS.inc(event="hit")
+        obs.EVENTS.emit("cache_hit", key=key)
         try:
             # Bump the timestamps so LRU eviction sees this artifact as
             # recently used even on filesystems mounted noatime.
@@ -222,18 +244,21 @@ class ArtifactCache:
                 pass
             raise
         over_limit = False
+        try:
+            written = path.stat().st_size
+        except OSError:
+            written = 0
         with self._lock:
             self.stats.writes += 1
             if self.max_bytes is not None:
-                try:
-                    written = path.stat().st_size
-                except OSError:
-                    written = 0
                 if self._size_estimate is None:
                     self._size_estimate = self.size_bytes()
                 else:
                     self._size_estimate += written
                 over_limit = self._size_estimate > self.max_bytes
+                _CACHE_SIZE.set(self._size_estimate)
+        _CACHE_EVENTS.inc(event="write")
+        obs.EVENTS.emit("cache_write", key=key, bytes=written)
         if over_limit:
             self.evict(protect=(key,))
         return path
@@ -281,6 +306,7 @@ class ArtifactCache:
                 pass
         with self._lock:
             self._size_estimate = 0
+        _CACHE_SIZE.set(0)
         return removed
 
     def evict(
@@ -339,8 +365,11 @@ class ArtifactCache:
             removed += 1
             with self._lock:
                 self.stats.evictions += 1
+            _CACHE_EVENTS.inc(event="evict")
+            obs.EVENTS.emit("cache_evict", key=path.stem, bytes=size)
         with self._lock:
             self._size_estimate = total
+        _CACHE_SIZE.set(total)
         return removed
 
     def describe(self) -> str:

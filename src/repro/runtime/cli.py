@@ -10,6 +10,7 @@ runs through the :class:`repro.runtime.SweepEngine`::
     python -m repro serve            # long-lived sweep service (repro.service)
     python -m repro worker           # long-lived cluster worker (repro.cluster)
     python -m repro cluster status   # live coordinator / worker statistics
+    python -m repro cluster status --watch   # follow the live event stream
     python -m repro cache info       # artifact-cache statistics (--json for tools)
     python -m repro cache clear      # drop every cached artifact
     python -m repro cache evict --max-bytes 500M   # LRU-trim the cache
@@ -67,6 +68,17 @@ the persistent job journal (``--journal PATH``, ``--no-journal``) with
 ``--resume`` to re-enqueue whatever a killed server left interrupted.
 See ``docs/operations.md`` for deployment guidance and the recovery
 runbook, and ``docs/protocol.md`` for the wire protocol.
+
+Observability
+-------------
+``--metrics-port N`` (on ``run``, ``serve`` and ``worker``) serves the
+process-wide Prometheus metrics (:mod:`repro.obs`) on
+``http://127.0.0.1:N/metrics`` for the lifetime of the command; ``0``
+binds an ephemeral port, printed on start.  ``python -m repro cluster
+status --watch`` follows the coordinator's live event stream and redraws
+the per-worker table on every change (``--duration`` bounds the session).
+See ``docs/observability.md`` for the metric reference and the trace-id
+propagation model.
 """
 
 from __future__ import annotations
@@ -93,6 +105,7 @@ running sweeps at scale:
   --no-cache / --cache-dir DIR      control the content-addressed artifact cache
   --max-bytes 500M                  LRU-bound the cache (also: cache evict)
   --fast                            reduced test-scale presets
+  --metrics-port 9100               serve Prometheus metrics while running
 Serial, parallel, batch and distributed execution produce bit-identical
 results; the cache is keyed by plan + technology + conditions + code version,
 so warm re-runs skip the reference solver entirely.  `python -m repro serve`
@@ -257,6 +270,14 @@ def _add_engine_options(parser: argparse.ArgumentParser, run_options: bool = Tru
         "--no-cache", action="store_true", help="disable the artifact cache"
     )
     _add_cache_size_option(group)
+    group.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus metrics on http://127.0.0.1:PORT/metrics "
+        "for the lifetime of the command (0 picks a free port)",
+    )
     if not run_options:
         return
     group.add_argument(
@@ -547,12 +568,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _serve() -> None:
+        from repro import obs
+
         host, port = await service.start()
         print(
             f"serving sweeps on {host}:{port} "
             f"(workloads: {', '.join(workload_names())})",
             flush=True,
         )
+        metrics_server = None
+        if args.metrics_port is not None:
+            metrics_server = await obs.MetricsServer(port=args.metrics_port).start()
+            print(
+                f"metrics on http://127.0.0.1:{metrics_server.port}/metrics",
+                flush=True,
+            )
         print(engine.describe(), flush=True)
         if journal is not None:
             print(journal.describe(), flush=True)
@@ -563,6 +593,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await service.serve_forever()
         finally:
             await service.stop()
+            if metrics_server is not None:
+                await metrics_server.stop()
 
     try:
         asyncio.run(_serve())
@@ -583,12 +615,33 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         name=args.name,
         connect_timeout=args.connect_timeout,
         throttle=args.throttle,
+        metrics_port=args.metrics_port,
     )
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from repro.cluster import ControlError, fetch_status, format_status
+    from repro.cluster import ControlError, fetch_status, format_status, watch_status
 
+    if args.watch:
+        if args.json:
+            print("error: --json does not apply to --watch", file=sys.stderr)
+            return 2
+        try:
+            watch_status(
+                args.connect, duration=args.duration, timeout=args.connect_timeout
+            )
+        except KeyboardInterrupt:
+            print("", file=sys.stderr)
+        except (ControlError, OSError, ValueError) as error:
+            print(
+                f"error: cannot watch cluster at {args.connect}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+    if args.duration is not None:
+        print("error: --duration only applies with --watch", file=sys.stderr)
+        return 2
     try:
         status = fetch_status(args.connect, timeout=args.connect_timeout)
     except (ControlError, OSError, ValueError) as error:
@@ -781,6 +834,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="artificial per-job delay: a reproducible straggler for "
         "exercising the adaptive scheduler (benchmarks/chaos only)",
     )
+    worker_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve this worker's Prometheus metrics on "
+        "http://127.0.0.1:PORT/metrics (0 picks a free port)",
+    )
 
     cluster_parser = subparsers.add_parser(
         "cluster", help="inspect a live cluster endpoint"
@@ -791,6 +852,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_parser.add_argument(
         "--json", action="store_true", help="print the raw status document as JSON"
+    )
+    cluster_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="follow the live event stream and redraw the worker table "
+        "on every change (Ctrl-C to stop)",
+    )
+    cluster_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="bound a --watch session (default: until interrupted)",
     )
     cluster_parser.add_argument(
         "--connect-timeout",
@@ -831,6 +905,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_worker(args)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.metrics_port is not None:
+            # `run` has no event loop of its own (the distributed executor
+            # hides one on a private thread), so the endpoint gets a daemon
+            # loop-thread that lives for the duration of the workload.
+            from repro import obs
+
+            metrics_server = obs.MetricsServer(port=args.metrics_port).start_in_thread()
+            print(
+                f"metrics on http://127.0.0.1:{metrics_server.port}/metrics",
+                flush=True,
+            )
+            try:
+                return _RUN_COMMANDS[args.workload](args)
+            finally:
+                metrics_server.stop_in_thread()
         return _RUN_COMMANDS[args.workload](args)
     except EngineOptionError as error:
         # Bad engine options (e.g. --workers 0) surface as a clean CLI

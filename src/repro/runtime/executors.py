@@ -33,6 +33,12 @@ set.  Work that is already running finishes (blocking solver calls cannot
 be interrupted), but nothing further starts — this is what lets the serving
 tier abort a sweep whose every client disconnected without burning CPU to
 the end (see :mod:`repro.service`).
+
+``execute`` also accepts an optional ``trace`` id (the observability
+layer's cross-tier request id, see :mod:`repro.obs`).  The in-process
+strategies run where the engine already emitted the trace-stamped events,
+so they accept and ignore it; the distributed strategy forwards it into
+every chunk frame so worker-side completions stay attributable.
 """
 
 from __future__ import annotations
@@ -100,6 +106,7 @@ class SerialExecutor:
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
         cancel: Optional[CancelEvent] = None,
+        trace: Optional[str] = None,
     ) -> List[Any]:
         results: List[Any] = []
         total = len(jobs)
@@ -142,6 +149,7 @@ class ParallelExecutor:
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
         cancel: Optional[CancelEvent] = None,
+        trace: Optional[str] = None,
     ) -> List[Any]:
         _check_cancel(cancel, "before dispatch")
         if len(jobs) <= 1 or self.max_workers <= 1:
@@ -206,6 +214,7 @@ class BatchExecutor:
         progress: Optional[ProgressCallback] = None,
         batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
         cancel: Optional[CancelEvent] = None,
+        trace: Optional[str] = None,
     ) -> List[Any]:
         evaluate = batch_fn if batch_fn is not None else _run_chunk
         results: List[Any] = []

@@ -65,6 +65,15 @@ The service is hardened for flaky / untrusted-ish traffic (see
   job; ``python -m repro serve --resume`` replays whatever a killed
   server left interrupted, so resubmitted requests are served from cache,
   bit-identical to an uninterrupted run.
+
+And it is **observable** (protocol v3, see :mod:`repro.obs` and
+``docs/observability.md``): every submit is stamped with a ``trace`` id
+that follows the sweep through the engine, the cluster coordinator and
+the workers; ``python -m repro serve --metrics-port N`` serves the
+process-wide Prometheus metrics; and the ``watch`` op
+(:meth:`ServiceClient.watch`) streams the live event bus — submits,
+cache hits, chunk dispatches, splits, cancellations — over the same
+connection protocol.
 """
 
 from __future__ import annotations

@@ -37,7 +37,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
-from typing import Any, Dict, Optional, Type
+from typing import Any, AsyncIterator, Dict, Optional, Type
 
 from repro.runtime.executors import ProgressCallback
 from repro.service import protocol
@@ -106,6 +106,10 @@ class SweepResult:
     deduplicated: bool
     elapsed_seconds: float
     progress_events: int
+    #: Server-minted observability id of the sweep (protocol v3); every
+    #: metric sample and ``watch`` event of the run carries it, across the
+    #: service, engine, coordinator and worker tiers (see :mod:`repro.obs`).
+    trace: str = ""
 
 
 class ServiceClient:
@@ -228,6 +232,7 @@ class ServiceClient:
         workload: str,
         params: Optional[Dict[str, Any]] = None,
         on_progress: Optional[ProgressCallback] = None,
+        trace: Optional[str] = None,
     ) -> SweepResult:
         """Run ``workload`` on the server, streaming progress along the way.
 
@@ -240,6 +245,11 @@ class ServiceClient:
             they form the single-flight fingerprint.
         on_progress:
             Receives ``(done, total, label)`` for every progress event.
+        trace:
+            Optional client-proposed observability id.  The id actually in
+            force — this one, or the first submitter's when the request
+            deduplicates onto an in-flight sweep — comes back on
+            :attr:`SweepResult.trace`.
 
         Raises
         ------
@@ -261,10 +271,15 @@ class ServiceClient:
         self._busy = True
         self._active_submit = request_id
         try:
-            writer.write(protocol.encode_message(protocol.submit_request(request_id, workload, params)))
+            writer.write(
+                protocol.encode_message(
+                    protocol.submit_request(request_id, workload, params, trace=trace)
+                )
+            )
             await writer.drain()
             key = ""
             deduplicated = False
+            served_trace = ""
             progress_events = 0
             while True:
                 message = await protocol.read_message(reader)
@@ -276,6 +291,7 @@ class ServiceClient:
                 if event == "accepted":
                     key = str(message.get("key", ""))
                     deduplicated = bool(message.get("deduplicated", False))
+                    served_trace = str(message.get("trace", ""))
                 elif event == "progress":
                     progress_events += 1
                     if on_progress is not None:
@@ -291,8 +307,47 @@ class ServiceClient:
                         deduplicated=deduplicated,
                         elapsed_seconds=float(message.get("elapsed_seconds", 0.0)),
                         progress_events=progress_events,
+                        trace=served_trace,
                     )
                 elif event == "error":
+                    raise error_from_event(message)
+        finally:
+            self._busy = False
+            self._active_submit = None
+
+    async def watch(self) -> AsyncIterator[Dict[str, Any]]:
+        """Follow the server's live observability event stream (v3).
+
+        Async generator yielding one event dict per :mod:`repro.obs` event
+        the server emits (``seq`` / ``ts`` / ``type`` / optional ``trace``
+        plus type-specific fields) until the stream is cancelled — via
+        :meth:`cancel` from a concurrent task (the generator then simply
+        ends), the generator being closed, or the server stopping.  Like
+        :meth:`submit`, a watch owns the connection while it runs.
+        """
+        if self._busy:
+            raise RuntimeError("one request at a time per ServiceClient connection")
+        reader, writer = self._require_connection()
+        request_id = self._next_id()
+        self._busy = True
+        self._active_submit = request_id  # cancel() targets the watch too
+        try:
+            writer.write(protocol.encode_message(protocol.watch_request(request_id)))
+            await writer.drain()
+            while True:
+                message = await protocol.read_message(reader)
+                if message is None:
+                    return  # server stopped: the stream is over
+                if message.get("id") != request_id:
+                    continue
+                event = message.get("event")
+                if event == "watching":
+                    continue
+                if event == "obs":
+                    yield dict(message.get("data") or {})
+                elif event == "error":
+                    if message.get("code") == "cancelled":
+                        return  # cancelled by this client: a normal end
                     raise error_from_event(message)
         finally:
             self._busy = False
@@ -316,6 +371,7 @@ def run_sweep(
     on_progress: Optional[ProgressCallback] = None,
     timeout: Optional[float] = None,
     connect_timeout: Optional[float] = None,
+    trace: Optional[str] = None,
 ) -> SweepResult:
     """Synchronous one-shot submit for scripts: connect, run, disconnect.
 
@@ -350,7 +406,9 @@ def run_sweep(
         client = ServiceClient(host, port)
         await client.connect(timeout=connect_timeout)
         try:
-            return await client.submit(workload, params, on_progress=on_progress)
+            return await client.submit(
+                workload, params, on_progress=on_progress, trace=trace
+            )
         finally:
             await client.aclose()
 

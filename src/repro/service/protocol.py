@@ -21,12 +21,22 @@ Client → server messages carry an ``op``:
     Engine / cache / journal / in-flight statistics.
 ``{"op": "ping", "id": <str>}``
     Liveness probe.
+``{"op": "watch", "id": <str>}``
+    Subscribe to the live :mod:`repro.obs` event stream (protocol v3).
+    Answered with ``watching`` and then one ``obs`` event per
+    observability event — submits, cache hits/misses/evictions, chunk
+    dispatch/split/steal, cancellations, journal replays — until the
+    client cancels the id, disconnects, or the server stops.  A slow
+    watcher drops its oldest frames rather than stalling the server.
 
 Server → client messages carry an ``event`` and the originating ``id``:
 
-``accepted``   — submit validated; ``key`` is the request fingerprint and
+``accepted``   — submit validated; ``key`` is the request fingerprint,
                  ``deduplicated`` tells whether the request piggybacks on
-                 an identical in-flight sweep (single-flight).
+                 an identical in-flight sweep (single-flight), and
+                 ``trace`` is the server-minted observability id that
+                 every metric sample and ``obs`` event of this sweep
+                 carries across all tiers (see :mod:`repro.obs`).
 ``progress``   — one engine progress tick: ``done`` / ``total`` / ``label``.
 ``result``     — terminal success; ``payload`` is the workload's return
                  value, ``elapsed_seconds`` the server-side wall time.
@@ -44,6 +54,10 @@ Server → client messages carry an ``event`` and the originating ``id``:
                  * ``failed``     — the workload raised or its result
                    could not be serialised.
 
+``watching``   — watch subscription acknowledged; ``obs`` events follow.
+``obs``        — one observability event: ``data`` is the event dict
+                 (``seq`` / ``ts`` / ``type`` / optional ``trace`` plus
+                 type-specific fields; see :data:`repro.obs.EVENT_TYPES`).
 ``pong`` / ``status`` — replies to the matching ops.
 
 The protocol is intentionally schema-light: :func:`read_message` enforces
@@ -74,8 +88,10 @@ from repro.wire import (  # noqa: F401  (re-exports)
 
 #: Bumped on incompatible wire changes; the server reports it in ``status``.
 #: Version 2 added the ``cancel`` op, the ``busy`` backpressure rejection
-#: and the stable ``code`` field on ``error`` events.
-PROTOCOL_VERSION = 2
+#: and the stable ``code`` field on ``error`` events.  Version 3 added the
+#: ``watch`` op (``watching`` ack + ``obs`` event stream) and the ``trace``
+#: observability id on ``accepted`` events and ``submit`` requests.
+PROTOCOL_VERSION = 3
 
 #: Stable machine-readable failure classes carried by ``error`` events.
 ERROR_CODES = ("bad-request", "busy", "cancelled", "failed")
@@ -85,8 +101,25 @@ ERROR_CODES = ("bad-request", "busy", "cancelled", "failed")
 # Message constructors (shared by server and client so field names can
 # never drift apart)
 # ----------------------------------------------------------------------
-def submit_request(request_id: str, workload: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    return {"op": "submit", "id": request_id, "workload": workload, "params": dict(params or {})}
+def submit_request(
+    request_id: str,
+    workload: str,
+    params: Optional[Dict[str, Any]] = None,
+    trace: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Submit a workload.  ``trace`` (optional, v3) proposes a client-side
+    observability id; the server echoes it on ``accepted`` when the request
+    starts a fresh flight, or answers with the first submitter's id when
+    the request deduplicates onto an in-flight sweep."""
+    message = {
+        "op": "submit",
+        "id": request_id,
+        "workload": workload,
+        "params": dict(params or {}),
+    }
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
 def cancel_request(request_id: str) -> Dict[str, Any]:
@@ -102,8 +135,30 @@ def ping_request(request_id: str) -> Dict[str, Any]:
     return {"op": "ping", "id": request_id}
 
 
-def accepted_event(request_id: str, key: str, deduplicated: bool) -> Dict[str, Any]:
-    return {"event": "accepted", "id": request_id, "key": key, "deduplicated": deduplicated}
+def accepted_event(
+    request_id: str, key: str, deduplicated: bool, trace: str = ""
+) -> Dict[str, Any]:
+    return {
+        "event": "accepted",
+        "id": request_id,
+        "key": key,
+        "deduplicated": deduplicated,
+        "trace": trace,
+    }
+
+
+def watch_request(request_id: str) -> Dict[str, Any]:
+    """Subscribe to the service's live observability event stream (v3)."""
+    return {"op": "watch", "id": request_id}
+
+
+def watching_event(request_id: str) -> Dict[str, Any]:
+    return {"event": "watching", "id": request_id}
+
+
+def obs_event(request_id: str, data: Dict[str, Any]) -> Dict[str, Any]:
+    """One streamed observability event (see :data:`repro.obs.EVENT_TYPES`)."""
+    return {"event": "obs", "id": request_id, "data": data}
 
 
 def progress_event(request_id: str, done: int, total: int, label: str) -> Dict[str, Any]:

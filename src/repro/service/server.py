@@ -51,9 +51,11 @@ import copy
 import dataclasses
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Set, Tuple
 
+from repro import obs
 from repro.journal import JobJournal
 from repro.runtime import ArtifactCache, SweepCancelled, SweepEngine, fingerprint
 from repro.service import progress as progress_mod
@@ -63,6 +65,64 @@ from repro.service.workloads import WorkloadFn, get_workload, workload_names
 #: Sentinel injected into a subscriber queue when its request is cancelled
 #: (explicit ``cancel`` op or client disconnect).
 _CANCELLED = object()
+
+#: Requests served, labelled by op (unknown ops collapse to ``other`` so
+#: client-controlled strings can never explode the label cardinality).
+_REQUESTS_TOTAL = obs.counter(
+    "repro_service_requests_total", "Service requests served, by op.", labels=("op",)
+)
+_KNOWN_OPS = ("ping", "status", "submit", "cancel", "watch")
+
+#: Help strings of the service counters; each backs a registry metric and
+#: the per-instance view ``status`` reports (:class:`repro.obs.CounterGroup`).
+#: ``status_cluster_errors`` keeps the ``repro_status_`` prefix: it counts
+#: failures of the ``status`` op's off-loop cluster gather, not serving.
+_COUNTER_METRICS = {
+    "busy_rejections": (
+        "repro_service_busy_rejections_total",
+        "Submits rejected by per-client backpressure.",
+    ),
+    "jobs_cancelled": (
+        "repro_service_jobs_cancelled_total",
+        "Flights aborted after their last subscriber left.",
+    ),
+    "resumed_jobs": (
+        "repro_service_resumed_jobs_total",
+        "Journal-pending jobs replayed by resume().",
+    ),
+    "status_cluster_errors": (
+        "repro_status_cluster_errors_total",
+        "status-op cluster gathers that raised (timeouts included).",
+    ),
+    "watch_dropped": (
+        "repro_service_watch_dropped_total",
+        "Events dropped from slow watch subscribers (oldest first).",
+    ),
+}
+
+#: Registered at import time so the scrape surface (and the naming lint)
+#: sees the service counters before any SweepService is constructed.
+_COUNTERS = {
+    key: obs.counter(name, help_text)
+    for key, (name, help_text) in _COUNTER_METRICS.items()
+}
+
+
+def _put_drop_oldest(queue: "asyncio.Queue", item: Any) -> int:
+    """Enqueue, evicting the oldest entries on overflow; returns the count
+    evicted.  Live streams (watch subscribers, cancel wake-ups) prefer
+    losing history to stalling the event loop or raising ``QueueFull``."""
+    dropped = 0
+    while True:
+        try:
+            queue.put_nowait(item)
+            return dropped
+        except asyncio.QueueFull:
+            try:
+                queue.get_nowait()
+                dropped += 1
+            except asyncio.QueueEmpty:
+                pass
 
 
 class _TokenBucket:
@@ -103,7 +163,9 @@ class _PendingRequest:
     def cancel(self) -> None:
         self.cancelled = True
         if self.queue is not None:
-            self.queue.put_nowait(_CANCELLED)
+            # Drop-oldest: a bounded queue (watch streams) must accept the
+            # wake-up sentinel even when full.
+            _put_drop_oldest(self.queue, _CANCELLED)
 
 
 class _Connection:
@@ -156,6 +218,9 @@ class _Flight:
     subscribers: int = 0
     #: Pinned flights (journal replays) survive losing their subscribers.
     pinned: bool = False
+    #: Observability id minted at flight creation (first submitter wins on
+    #: dedup); every metric sample and watch event of this sweep carries it.
+    trace: str = ""
 
 
 class SweepService:
@@ -248,10 +313,26 @@ class SweepService:
         self._journal_pending: Set[str] = (
             {entry.key for entry in journal.pending()} if journal is not None else set()
         )
-        # Resilience counters, surfaced through `status`.
-        self.busy_rejections = 0
-        self.jobs_cancelled = 0
-        self.resumed_jobs = 0
+        # Resilience counters, surfaced through `status` *and* mirrored to
+        # the process-wide metrics registry: the per-instance view starts
+        # at zero, the Prometheus endpoint sees process-lifetime totals.
+        self._counters = obs.CounterGroup(_COUNTERS)
+        self._watch_entries: Set[_PendingRequest] = set()
+        self._cluster_status_error: Optional[str] = None
+
+    # Read-only attribute views kept for tests and callers that predate the
+    # registry-backed counters.
+    @property
+    def busy_rejections(self) -> int:
+        return self._counters["busy_rejections"]
+
+    @property
+    def jobs_cancelled(self) -> int:
+        return self._counters["jobs_cancelled"]
+
+    @property
+    def resumed_jobs(self) -> int:
+        return self._counters["resumed_jobs"]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -307,7 +388,7 @@ class SweepService:
                 continue
             # The journal already holds these entries' `submitted` records
             # (that is how they got here), so replays skip re-recording.
-            _, deduplicated = self._get_or_create_flight(
+            flight, deduplicated = self._get_or_create_flight(
                 entry.key,
                 entry.workload,
                 workload_fn,
@@ -317,7 +398,13 @@ class SweepService:
             )
             if not deduplicated:
                 started += 1
-        self.resumed_jobs += started
+                obs.EVENTS.emit(
+                    "journal_replay",
+                    trace=flight.trace,
+                    key=entry.key,
+                    workload=entry.workload,
+                )
+        self._counters.inc("resumed_jobs", started)
         return started
 
     async def serve_forever(self) -> None:
@@ -339,6 +426,11 @@ class SweepService:
         mid-solve anyway.
         """
         self._stopping = True
+        # End every live watch stream first: a watcher is a request task
+        # that never finishes on its own, and the request-task drain below
+        # would otherwise wait on it forever.
+        for entry in list(self._watch_entries):
+            entry.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -445,7 +537,7 @@ class SweepService:
             self.max_inflight is not None
             and len(connection.pending) >= self.max_inflight
         ):
-            self.busy_rejections += 1
+            self._counters.inc("busy_rejections")
             return protocol.busy_event(
                 request_id,
                 f"too many in-flight requests on this connection "
@@ -475,14 +567,14 @@ class SweepService:
                     code="bad-request",
                 )
             if connection.queued_bytes + cost > self.max_queued_bytes:
-                self.busy_rejections += 1
+                self._counters.inc("busy_rejections")
                 return protocol.busy_event(
                     request_id,
                     f"queued request bytes over budget "
                     f"({connection.queued_bytes + cost} > {self.max_queued_bytes})",
                 )
         if connection.bucket is not None and not connection.bucket.try_acquire():
-            self.busy_rejections += 1
+            self._counters.inc("busy_rejections")
             return protocol.busy_event(
                 request_id,
                 f"submit rate limit exceeded ({self.rate:g}/s)",
@@ -516,6 +608,7 @@ class SweepService:
             )
             return
         op = message.get("op")
+        _REQUESTS_TOTAL.inc(op=op if op in _KNOWN_OPS else "other")
         if op == "ping":
             await connection.send({"event": "pong", "id": request_id})
         elif op == "status":
@@ -536,11 +629,13 @@ class SweepService:
                 await self._handle_submit(connection, message, request_id)
             finally:
                 self._release(connection, request_id)
+        elif op == "watch":
+            await self._handle_watch(connection, request_id)
         else:
             await connection.send(
                 protocol.error_event(
                     request_id,
-                    f"unknown op {op!r} (ping/status/submit/cancel)",
+                    f"unknown op {op!r} (ping/status/submit/cancel/watch)",
                     code="bad-request",
                 )
             )
@@ -563,6 +658,71 @@ class SweepService:
             )
             return
         entry.cancel()
+
+    async def _handle_watch(
+        self, connection: _Connection, request_id: Optional[str]
+    ) -> None:
+        """Stream :mod:`repro.obs` events to one subscriber until cancelled.
+
+        The bus delivers synchronously on whatever thread emitted (sweep
+        worker threads, the cluster loop, this loop), so a subscriber
+        bridges events onto the service loop into a bounded per-watcher
+        queue; a slow watcher drops its *oldest* frames (counted in
+        ``repro_service_watch_dropped_total``) and can never stall the
+        server.  The stream is a pending request like a submit: a
+        ``cancel`` op with the same id ends it with ``code="cancelled"``,
+        and disconnect / :meth:`stop` do too.
+        """
+        if not isinstance(request_id, str):
+            await connection.send(
+                protocol.error_event(
+                    None, "watch requires a string id", code="bad-request"
+                )
+            )
+            return
+        if request_id in connection.pending:
+            await connection.send(
+                protocol.error_event(
+                    request_id,
+                    f"request id {request_id!r} is already in flight on this connection",
+                    code="bad-request",
+                )
+            )
+            return
+        assert self._loop is not None, "service not started"
+        loop = self._loop
+        queue: "asyncio.Queue" = asyncio.Queue(maxsize=1024)
+        entry = _PendingRequest(cost=0)
+        entry.queue = queue
+        connection.pending[request_id] = entry
+        self._watch_entries.add(entry)
+
+        def enqueue(event: Dict[str, Any]) -> None:
+            dropped = _put_drop_oldest(queue, event)
+            if dropped:
+                self._counters.inc("watch_dropped", dropped)
+
+        def bridge(event: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(enqueue, event)
+
+        obs.EVENTS.subscribe(bridge)
+        try:
+            await connection.send(protocol.watching_event(request_id))
+            while True:
+                item = await queue.get()
+                if item is _CANCELLED or entry.cancelled:
+                    await connection.send(
+                        protocol.error_event(
+                            request_id, "watch cancelled", code="cancelled"
+                        )
+                    )
+                    return
+                if not await connection.send(protocol.obs_event(request_id, item)):
+                    return  # peer gone mid-stream
+        finally:
+            obs.EVENTS.unsubscribe(bridge)
+            self._watch_entries.discard(entry)
+            self._release(connection, request_id)
 
     async def _cluster_status(self) -> Optional[Dict[str, Any]]:
         """Scheduler statistics of a distributed engine executor, or None.
@@ -588,8 +748,13 @@ class SweepService:
 
         try:
             document = await self._loop.run_in_executor(None, _fetch)
-        except Exception:
-            return None  # a wedged coordinator must not take `status` down
+        except Exception as error:
+            # A wedged coordinator must not take `status` down — but the
+            # failure must not vanish either: count it and surface the
+            # last error string through the status document.
+            self._counters.inc("status_cluster_errors")
+            self._cluster_status_error = f"{type(error).__name__}: {error}"
+            return None
         # The executor's serial-fallback / not-started placeholders carry
         # no scheduler content; the spec promises the key only appears
         # with the coordinator's full document.
@@ -627,6 +792,9 @@ class SweepService:
             },
             "busy_rejections": self.busy_rejections,
             "jobs_cancelled": self.jobs_cancelled,
+            "status_cluster_errors": self._counters["status_cluster_errors"],
+            "cluster_status_error": self._cluster_status_error,
+            "watchers": len(self._watch_entries),
             "journal": journal_info,
         }
 
@@ -660,9 +828,14 @@ class SweepService:
             )
             return
 
+        client_trace = message.get("trace")
         key = fingerprint("service-submit", workload_name, params)
         flight, deduplicated = self._get_or_create_flight(
-            key, workload_name, workload_fn, params
+            key,
+            workload_name,
+            workload_fn,
+            params,
+            trace=client_trace if isinstance(client_trace, str) and client_trace else None,
         )
         flight.subscribers += 1
         queue = flight.broadcaster.subscribe()
@@ -673,8 +846,17 @@ class SweepService:
                 # The cancel (or disconnect) raced ahead of subscription.
                 queue.put_nowait(_CANCELLED)
         cancelled = False
+        obs.EVENTS.emit(
+            "submit_accepted",
+            trace=flight.trace,
+            workload=workload_name,
+            key=key,
+            deduplicated=deduplicated,
+        )
         try:
-            await connection.send(protocol.accepted_event(request_id, key, deduplicated))
+            await connection.send(
+                protocol.accepted_event(request_id, key, deduplicated, trace=flight.trace)
+            )
             while True:
                 item = await queue.get()
                 if item is progress_mod.CLOSED:
@@ -747,7 +929,7 @@ class SweepService:
         ):
             return
         flight.cancel_event.set()
-        self.jobs_cancelled += 1
+        self._counters.inc("jobs_cancelled")
         # Drop it from the single-flight table immediately so an identical
         # resubmit starts a fresh sweep instead of joining a dying one.
         if self._flights.get(flight.key) is flight:
@@ -761,27 +943,33 @@ class SweepService:
         params: Dict[str, Any],
         pinned: bool = False,
         journal_record: bool = True,
+        trace: Optional[str] = None,
     ) -> Tuple[_Flight, bool]:
         flight = self._flights.get(key)
         if flight is not None:
             if pinned:
                 flight.pinned = True
+            # Single-flight implies single trace: the first submitter's id
+            # stays on the sweep; late joiners learn it via `accepted`.
             return flight, True
         assert self._loop is not None, "service not started"
         broadcaster = progress_mod.ProgressBroadcaster(self._loop)
         # Per-flight engine view: shared executor / cache / stats, private
-        # progress sink and cancel event, so concurrent sweeps cannot cross
-        # their streams and cancelling one never aborts another.
+        # progress sink, cancel event and trace id, so concurrent sweeps
+        # cannot cross their streams and cancelling one never aborts
+        # another.
         cancel_event = threading.Event()
         engine_view = copy.copy(self.engine)
         engine_view.progress = broadcaster.callback
         engine_view.cancel_event = cancel_event
+        engine_view.trace_id = trace or uuid.uuid4().hex
         flight = _Flight(
             key=key,
             workload=workload_name,
             broadcaster=broadcaster,
             cancel_event=cancel_event,
             pinned=pinned,
+            trace=engine_view.trace_id,
         )
         if journal_record:
             self._journal_submitted(key, workload_name, params)
@@ -808,6 +996,14 @@ class SweepService:
                 status = "cancelled"
             else:
                 status = "failed"
+        event_type = {
+            "completed": "run_result",
+            "cancelled": "run_cancelled",
+            "failed": "run_failed",
+        }[status]
+        obs.EVENTS.emit(
+            event_type, trace=flight.trace, key=flight.key, workload=flight.workload
+        )
         if self._flights.get(flight.key) not in (None, flight):
             # A cancelled-then-resubmitted key: a newer flight now owns
             # this key's journal lifecycle, and our terminal record would

@@ -81,6 +81,17 @@ class WorkerStats:
       chunk has completed to prove it.  Surfaced in ``cluster status``
       for operators; the scheduler itself acts only on chunk telemetry.
 
+    A worker with ``--slots N`` runs up to ``N`` chunks *concurrently*,
+    so a chunk's naive ``jobs / wall-seconds`` under-states the worker's
+    delivered capacity by up to ``N``x (the PR 5 gap).  The coordinator
+    therefore brackets every chunk with :meth:`chunk_dispatched` /
+    :meth:`chunk_settled`, which maintain a time-weighted busy integral
+    (``∫ inflight_chunks dt``); the chunk's mean *occupancy* — how many
+    chunks shared the worker over its lifetime — scales the throughput
+    sample back up to whole-worker capacity in :meth:`observe_chunk`.
+    Chunk-window sizing stays exact because :meth:`expected_jobs` and
+    :meth:`expected_seconds` divide back down by the worker's slot count.
+
     >>> stats = WorkerStats("w3")
     >>> stats.throughput is None          # no observation yet: unknown
     True
@@ -93,6 +104,22 @@ class WorkerStats:
     5
     >>> stats.expected_jobs(0.001)        # never starves a worker entirely
     1
+
+    Occupancy accounting on a two-slot worker — two chunks of 4 jobs run
+    side by side for 4 s.  Each chunk alone measures 1 job/s, but the
+    worker delivered 8 jobs in those 4 s:
+
+    >>> stats = WorkerStats("w2")
+    >>> mark_a = stats.chunk_dispatched(now=0.0)
+    >>> mark_b = stats.chunk_dispatched(now=0.0)
+    >>> done_a = stats.chunk_settled(now=4.0)
+    >>> (done_a - mark_a) / 4.0           # mean occupancy of chunk A
+    2.0
+    >>> stats.observe_chunk(jobs=4, seconds=4.0, occupancy=2.0)
+    >>> stats.throughput                  # whole-worker capacity, not 1.0
+    2.0
+    >>> stats.expected_jobs(window=4.0, slots=2)   # per-slot sizing: exact
+    4
     """
 
     worker_id: str
@@ -107,23 +134,61 @@ class WorkerStats:
     ewma_heartbeat_gap: Optional[float] = None
     #: Monotonic timestamp of the last heartbeat (coordinator clock).
     last_heartbeat: Optional[float] = None
+    #: Chunks currently dispatched to (and unsettled on) this worker.
+    inflight_chunks: int = 0
+    #: Time-weighted busy integral ``∫ inflight_chunks dt`` (chunk-seconds).
+    busy_integral: float = 0.0
+    #: Monotonic timestamp of the last busy-integral update.
+    busy_updated: Optional[float] = None
 
     @property
     def throughput(self) -> Optional[float]:
         """Estimated delivered throughput in jobs/second (``None``: unknown)."""
         return self.ewma_throughput
 
-    def observe_chunk(self, jobs: int, seconds: float) -> None:
+    def _advance(self, now: float) -> None:
+        """Accrue ``inflight * dt`` up to ``now`` (clock never runs backwards)."""
+        if self.busy_updated is not None and now > self.busy_updated:
+            self.busy_integral += self.inflight_chunks * (now - self.busy_updated)
+            self.busy_updated = now
+        elif self.busy_updated is None:
+            self.busy_updated = now
+
+    def chunk_dispatched(self, now: float) -> float:
+        """Mark one more chunk in flight; returns the busy integral *before*
+        the chunk starts accruing, the caller's occupancy baseline."""
+        self._advance(now)
+        self.inflight_chunks += 1
+        return self.busy_integral
+
+    def chunk_settled(self, now: float) -> float:
+        """Mark one chunk settled (done, failed or cancelled); returns the
+        busy integral at settlement.  ``(settled - dispatched) / seconds``
+        is the chunk's mean occupancy — 1.0 on a lone chunk, ~``slots`` on
+        a saturated multi-slot worker."""
+        self._advance(now)
+        if self.inflight_chunks > 0:
+            self.inflight_chunks -= 1
+        return self.busy_integral
+
+    def observe_chunk(self, jobs: int, seconds: float, occupancy: float = 1.0) -> None:
         """Fold one completed chunk (``jobs`` finished in ``seconds``) in.
 
-        Empty chunks (a split can leave a zero-job head) and non-positive
-        durations carry no throughput information and are ignored.
+        ``occupancy`` is the chunk's mean co-residency from the busy
+        integral; the raw ``jobs / seconds`` sample is scaled by it (never
+        below 1.0) so a multi-slot worker's EWMA converges on delivered
+        *whole-worker* capacity instead of per-chunk speed.  Empty chunks
+        (a split can leave a zero-job head) and non-positive durations
+        carry no throughput information and are ignored.
         """
         if jobs <= 0 or seconds <= 0.0:
             return
+        occupancy = max(1.0, occupancy)
         self.chunks_observed += 1
         self.jobs_observed += jobs
-        self.ewma_throughput = ewma(self.ewma_throughput, jobs / seconds, self.alpha)
+        self.ewma_throughput = ewma(
+            self.ewma_throughput, (jobs / seconds) * occupancy, self.alpha
+        )
         self.ewma_chunk_seconds = ewma(self.ewma_chunk_seconds, seconds, self.alpha)
 
     def observe_heartbeat(self, now: float) -> None:
@@ -134,23 +199,28 @@ class WorkerStats:
                 self.ewma_heartbeat_gap = ewma(self.ewma_heartbeat_gap, gap, self.alpha)
         self.last_heartbeat = now
 
-    def expected_jobs(self, window: float) -> Optional[int]:
-        """Jobs this worker should finish inside a ``window``-second chunk.
+    def expected_jobs(self, window: float, slots: int = 1) -> Optional[int]:
+        """Jobs one *chunk* should finish inside a ``window``-second slot.
 
-        The adaptive scheduler's sizing primitive: ``throughput * window``,
-        floored at one job so even the slowest worker keeps receiving
-        work.  ``None`` while the throughput is still unknown — the
-        scheduler then falls back to its probe chunk size.
+        The adaptive scheduler's sizing primitive.  The EWMA tracks
+        whole-worker capacity, but a chunk occupies a single slot, so a
+        ``slots``-wide worker runs each chunk at ``throughput / slots`` —
+        dividing back down keeps window sizing exact however wide the
+        worker is.  Floored at one job so even the slowest worker keeps
+        receiving work; ``None`` while the throughput is still unknown —
+        the scheduler then falls back to its probe chunk size.
         """
         if self.ewma_throughput is None:
             return None
-        return max(1, int(round(self.ewma_throughput * window)))
+        per_slot = self.ewma_throughput / max(1, slots)
+        return max(1, int(round(per_slot * window)))
 
-    def expected_seconds(self, jobs: int) -> Optional[float]:
-        """Predicted wall time for ``jobs`` more jobs on this worker."""
+    def expected_seconds(self, jobs: int, slots: int = 1) -> Optional[float]:
+        """Predicted wall time for ``jobs`` more jobs in one chunk (which
+        runs on one of the worker's ``slots``)."""
         if self.ewma_throughput is None or self.ewma_throughput <= 0.0:
             return None
-        return jobs / self.ewma_throughput
+        return jobs / (self.ewma_throughput / max(1, slots))
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot (surfaced in ``cluster status``)."""
@@ -160,6 +230,7 @@ class WorkerStats:
             "ewma_heartbeat_gap": self.ewma_heartbeat_gap,
             "chunks_observed": self.chunks_observed,
             "jobs_observed": self.jobs_observed,
+            "inflight_chunks": self.inflight_chunks,
         }
 
 
@@ -205,11 +276,26 @@ class TelemetryBook:
         """Drop one worker's stats (called when its connection dies)."""
         self._stats.pop(worker_id, None)
 
-    def observe_chunk(self, worker_id: str, jobs: int, seconds: float) -> None:
-        self._entry(worker_id).observe_chunk(jobs, seconds)
+    def observe_chunk(
+        self, worker_id: str, jobs: int, seconds: float, occupancy: float = 1.0
+    ) -> None:
+        self._entry(worker_id).observe_chunk(jobs, seconds, occupancy=occupancy)
 
     def observe_heartbeat(self, worker_id: str, now: float) -> None:
         self._entry(worker_id).observe_heartbeat(now)
+
+    def chunk_dispatched(self, worker_id: str, now: float) -> float:
+        """Bracket start: one more chunk in flight on ``worker_id``."""
+        return self._entry(worker_id).chunk_dispatched(now)
+
+    def chunk_settled(self, worker_id: str, now: float) -> float:
+        """Bracket end.  Uses :meth:`get`, not :meth:`_entry`, so settling
+        a chunk of a worker already forgotten (died mid-chunk) does not
+        resurrect its stats entry."""
+        stats = self.get(worker_id)
+        if stats is None:
+            return 0.0
+        return stats.chunk_settled(now)
 
     def throughputs(self) -> Dict[str, float]:
         """Known throughputs only — workers still probing are omitted."""

@@ -771,3 +771,144 @@ class TestCacheInfoJson:
         document = json.loads(output)
         assert document["count"] == 0
         assert document["bytes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Observability: slot occupancy, trace ids, cluster status --watch
+# ----------------------------------------------------------------------
+class TestSlotOccupancy:
+    """The PR 5 telemetry gap: multi-slot workers' EWMA throughput."""
+
+    def test_overlapping_chunks_scale_to_worker_capacity(self):
+        """Deterministic replay of the bug: two chunks sharing a 2-slot
+        worker must measure whole-worker capacity, not per-chunk speed."""
+        from repro.telemetry import WorkerStats
+
+        stats = WorkerStats("w2")
+        mark_a = stats.chunk_dispatched(now=0.0)
+        mark_b = stats.chunk_dispatched(now=0.0)
+        done_a = stats.chunk_settled(now=10.0)
+        stats.observe_chunk(jobs=5, seconds=10.0, occupancy=(done_a - mark_a) / 10.0)
+        done_b = stats.chunk_settled(now=10.0)
+        stats.observe_chunk(jobs=5, seconds=10.0, occupancy=(done_b - mark_b) / 10.0)
+        # 10 jobs were delivered in 10 s; the pre-fix accounting (raw
+        # jobs/seconds per chunk) halved this to 0.5
+        assert stats.throughput == pytest.approx(1.0)
+        assert stats.inflight_chunks == 0
+
+    def test_two_slot_worker_measures_parallel_capacity(self):
+        """Regression with a real ``--slots 2`` worker: measured EWMA
+        throughput must exceed the single-slot ceiling."""
+        import socket
+
+        from repro.cluster.executor import spawn_worker_process
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        executor = DistributedExecutor(
+            workers=0,
+            connect=f"127.0.0.1:{port}",
+            min_workers=1,
+            chunksize=2,
+            start_timeout=START_TIMEOUT,
+        )
+        worker = spawn_worker_process(
+            f"127.0.0.1:{port}", name="twoslot", slots=2, connect_timeout=START_TIMEOUT
+        )
+        try:
+            executor.start()
+            if executor._fallback is not None:
+                pytest.skip("cluster cannot start in this environment")
+            naptime = 0.05
+            jobs = [Job(fn=_nap, args=(naptime, i), name=f"slot[{i}]") for i in range(16)]
+            assert executor.execute(jobs) == list(range(16))
+            [worker_view] = [w for w in executor.status()["workers"] if w["alive"]]
+            assert worker_view["slots"] == 2
+            measured = worker_view["throughput_jobs_per_s"]
+            assert measured is not None
+            # a 1-slot worker is physically capped at 1/naptime jobs/s;
+            # the old per-chunk accounting measured at or below that cap
+            # however many slots ran.  Both slots filled, the occupancy-
+            # corrected estimate must clear the cap with margin.
+            assert measured > 1.2 / naptime, (
+                f"throughput {measured:.1f} jobs/s does not reflect 2 slots"
+            )
+        finally:
+            executor.close()
+            if worker.poll() is None:
+                worker.terminate()
+                worker.wait(timeout=10)
+
+
+class TestTraceAcrossCluster:
+    def test_bit_identity_with_trace_and_round_trip(self, cluster):
+        """Tracing is free: results stay bit-identical with a trace id set,
+        and the chunk events prove the id crossed to workers and back."""
+        from repro import obs
+
+        seen = []
+        callback = obs.EVENTS.subscribe(seen.append)
+        try:
+            jobs = _seeded_jobs(16)
+            serial = SerialExecutor().execute(_seeded_jobs(16))
+            assert cluster.execute(jobs, trace="trace-cluster-1") == serial
+        finally:
+            obs.EVENTS.unsubscribe(callback)
+        mine = [e for e in seen if e.get("trace") == "trace-cluster-1"]
+        types = {e["type"] for e in mine}
+        assert "chunk_dispatched" in types
+        # chunk_done events carry the worker-echoed trace: the id made the
+        # full coordinator -> worker -> coordinator round trip
+        assert "chunk_done" in types
+        seqs = [e["seq"] for e in mine]
+        assert seqs == sorted(seqs)
+
+
+class TestClusterWatch:
+    def test_watch_cli_follows_live_events(self, cluster, capsys):
+        import threading
+
+        host, port = cluster.address
+        jobs = [Job(fn=_nap, args=(0.05, i), name=f"w[{i}]") for i in range(20)]
+        results = []
+        runner = threading.Thread(
+            target=lambda: results.append(cluster.execute(jobs, trace="trace-watch-cli"))
+        )
+        runner.start()
+        try:
+            code = cli_main(
+                [
+                    "cluster",
+                    "status",
+                    "--connect",
+                    f"{host}:{port}",
+                    "--watch",
+                    "--duration",
+                    "2.5",
+                ]
+            )
+        finally:
+            runner.join(timeout=START_TIMEOUT)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster at" in out and "live" in out
+        assert results and results[0] == list(range(20))
+        assert "trace-watch-cli" in out, "the watch table never saw the run's trace"
+
+    def test_watch_rejects_json_and_requires_watch_for_duration(self, capsys):
+        assert (
+            cli_main(
+                ["cluster", "status", "--connect", "127.0.0.1:1", "--watch", "--json"]
+            )
+            == 2
+        )
+        assert "--json" in capsys.readouterr().err
+        assert (
+            cli_main(
+                ["cluster", "status", "--connect", "127.0.0.1:1", "--duration", "1"]
+            )
+            == 2
+        )
+        assert "--duration" in capsys.readouterr().err

@@ -32,6 +32,9 @@ DOCTEST_MODULES = [
     "repro.runtime.cli",
     "repro.runtime.executors",
     "repro.cluster.worker",
+    "repro.cluster.control",
+    "repro.obs.metrics",
+    "repro.obs.events",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -46,12 +49,24 @@ def _relative_links(markdown: str):
 
 class TestDocsTree:
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "protocol.md", "operations.md", "scheduling.md"):
+        for name in (
+            "architecture.md",
+            "protocol.md",
+            "operations.md",
+            "scheduling.md",
+            "observability.md",
+        ):
             assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
     def test_readme_links_the_docs_tree(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for name in ("architecture.md", "protocol.md", "operations.md", "scheduling.md"):
+        for name in (
+            "architecture.md",
+            "protocol.md",
+            "operations.md",
+            "scheduling.md",
+            "observability.md",
+        ):
             assert f"docs/{name}" in readme, f"README does not link docs/{name}"
 
     def test_architecture_links_scheduling(self):
@@ -81,8 +96,17 @@ class TestDocsTree:
         )
         for code in service_protocol.ERROR_CODES:
             assert f"`{code}`" in spec, f"error code {code} undocumented"
-        for op in ("submit", "cancel", "status", "ping"):
+        for op in ("submit", "cancel", "status", "ping", "watch"):
             assert f'"op": "{op}"' in spec, f"service op {op} undocumented"
+        # Service protocol v3 (observability): the watch stream's frames
+        # and the trace field on accepted must be specified.
+        for event in ("watching", "obs"):
+            assert f'"event": "{event}"' in spec, f"service event {event} undocumented"
+        assert '"trace"' in spec or "`trace`" in spec, "trace field undocumented"
+        accepted = service_protocol.accepted_event("r", "k", False, trace="t-1")
+        assert accepted["trace"] == "t-1"
+        assert service_protocol.watch_request("r")["op"] == "watch"
+        assert service_protocol.obs_event("r", {"seq": 1})["data"] == {"seq": 1}
         # Cluster protocol v3 (adaptive scheduling): frame names must match
         # the constructors in repro.cluster.protocol.
         for op in ("chunk_done", "split_ack", "chunk_failed", "heartbeat"):
@@ -114,6 +138,33 @@ class TestDocsTree:
         from repro.cluster.coordinator import SPLIT_AGE_FACTOR
 
         assert f"SPLIT_AGE_FACTOR = {SPLIT_AGE_FACTOR}" in text
+
+    def test_observability_doc_matches_the_registry(self):
+        """docs/observability.md is a *reference*: every metric any tier
+        registers and every event type must be documented, and the naming
+        rule quoted there must be the enforced one."""
+        import repro.runtime  # noqa: F401  (registers engine metrics)
+        import repro.runtime.cache  # noqa: F401
+        import repro.service.server  # noqa: F401
+        import repro.cluster.worker  # noqa: F401
+        import repro.obs.http  # noqa: F401
+        from repro import obs
+        from repro.cluster.coordinator import Coordinator
+
+        Coordinator()  # cluster counters register at first construction
+        text = (REPO_ROOT / "docs" / "observability.md").read_text(encoding="utf-8")
+        undocumented = [name for name in obs.REGISTRY.names() if name not in text]
+        assert not undocumented, f"metrics missing from observability.md: {undocumented}"
+        for event_type in obs.EVENT_TYPES:
+            assert f"`{event_type}`" in text, f"event type {event_type} undocumented"
+        # the naming rule in the doc is the one the registry enforces
+        assert obs.METRIC_NAME_RE.pattern.strip("^$") in text
+        # the watch frame schema: seq / ts / type / trace
+        for field in ("`seq`", "`ts`", "`type`", "`trace`"):
+            assert field in text, f"watch frame field {field} undocumented"
+        # the advertised read paths
+        for needle in ("--metrics-port", '"op": "watch"', "/metrics", "trace"):
+            assert needle in text, f"observability.md does not mention {needle}"
 
 
 class TestDoctests:
