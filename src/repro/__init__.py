@@ -48,6 +48,14 @@ The package is organised in layers, bottom-up:
   ``watch`` op, and cross-tier trace ids that follow each submit from
   the service through the engine, coordinator and workers (see
   ``docs/observability.md``).
+* :mod:`repro.lint` — project-aware static analysis (``python -m repro
+  lint``): six pure-``ast`` rules enforcing the invariants the layers
+  above promise — async tiers never block the event loop, solver paths
+  stay deterministically seeded, pickle stays inside the cluster protocol
+  shim, failures are counted rather than silently swallowed, metric names
+  obey the registry rule, and wire-frame literals stay inside the
+  protocol vocabulary (see ``docs/lint.md``).  It reads source files and
+  imports none of the tiers it checks.
 
 Engine, service and cluster form the three-tier execution architecture
 (see ``docs/architecture.md``): the engine is the substrate, the service
@@ -70,6 +78,6 @@ runtime unconditionally and the modelling layers only lazily, per
 workload.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = ["__version__"]

@@ -48,10 +48,17 @@ import time
 import warnings
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cluster.coordinator import ClusterError, Coordinator
 from repro.cluster.worker import parse_address
 from repro.runtime.executors import CancelEvent, ProgressCallback, SerialExecutor
 from repro.runtime.jobs import Job
+
+_TEARDOWN_ERRORS_TOTAL = obs.counter(
+    "repro_cluster_teardown_errors_total",
+    "Coordinator stop failures swallowed during executor teardown "
+    "(workers are still terminated and the loop thread joined).",
+)
 
 
 def _worker_environment() -> dict:
@@ -306,7 +313,10 @@ class DistributedExecutor:
             try:
                 asyncio.run_coroutine_threadsafe(self.coordinator.stop(), self._loop).result(10)
             except Exception:
-                pass
+                # Teardown proceeds regardless (workers are terminated just
+                # below), but a coordinator that cannot stop cleanly is
+                # worth a trace on the registry.
+                _TEARDOWN_ERRORS_TOTAL.inc()
         for process in self._processes:
             if process.poll() is None:
                 process.terminate()

@@ -103,6 +103,30 @@ from repro.runtime.jobs import Job
 #: acks, and the ``count`` field on ``chunk_done``.
 CLUSTER_PROTOCOL_VERSION = 3
 
+#: Worker -> coordinator ``op`` vocabulary.  Like the service tuples in
+#: :mod:`repro.service.protocol`, these are pinned three ways: documented
+#: frame-by-frame in ``docs/protocol.md`` (checked by
+#: ``tests/test_docs.py``) and enforced at every send/match site by the
+#: ``REPRO-PROTO01`` lint rule — a frame type not listed here cannot ship.
+WORKER_OPS = ("hello", "heartbeat", "chunk_done", "split_ack", "chunk_failed")
+
+#: Control-client -> coordinator ``op`` vocabulary (``cluster status``).
+CONTROL_OPS = ("status", "ping", "watch")
+
+#: Coordinator -> peer ``event`` vocabulary (workers and control clients).
+COORDINATOR_EVENTS = (
+    "welcome",
+    "chunk",
+    "split",
+    "cancel",
+    "shutdown",
+    "error",
+    "status",
+    "pong",
+    "watching",
+    "obs",
+)
+
 
 # ----------------------------------------------------------------------
 # Pickle transport helpers
@@ -158,7 +182,7 @@ def unpack_exception(blob: Optional[str], message: str) -> BaseException:
             recovered = _unpack(blob)
             if isinstance(recovered, BaseException):
                 return recovered
-        except Exception:
+        except Exception:  # repro: ignore[REPRO-ERR01] -- documented degradation: an undecodable exception blob falls back to the RuntimeError below
             pass
     return RuntimeError(message)
 

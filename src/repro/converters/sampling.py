@@ -142,10 +142,16 @@ class SamplingNetwork:
         relative_sigma: float,
         rng: Optional[np.random.Generator] = None,
     ) -> "SamplingNetwork":
-        """Equal network perturbed by Gaussian capacitor mismatch."""
+        """Equal network perturbed by Gaussian capacitor mismatch.
+
+        ``rng`` defaults to a fixed-seed generator: like every solver
+        path, repeated construction must be bit-identical (callers
+        drawing many independent networks pass SeedSequence-derived
+        generators explicitly).
+        """
         if relative_sigma < 0.0:
             raise ValueError("relative_sigma must be non-negative")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         factors = rng.normal(1.0, relative_sigma, size=branches)
         factors = np.clip(factors, 0.5, 1.5)
         return cls(capacitances=tuple(capacitance * factors))

@@ -1,0 +1,55 @@
+"""The shipped rule set — one checker per repository contract.
+
+========================  ====================================================
+Rule                      Contract it guards
+========================  ====================================================
+``REPRO-ASYNC01``         asyncio tiers never block their event loop
+``REPRO-DET01``           solver paths stay bit-for-bit deterministic
+``REPRO-WIRE01``          pickle stays pinned to the one cluster shim
+``REPRO-ERR01``           broad exception handlers never swallow silently
+``REPRO-OBS01``           metric names obey the registry naming rule
+``REPRO-PROTO01``         frame-type literals match the documented protocols
+========================  ====================================================
+
+``docs/lint.md`` is the full reference (rationale, examples, suppression
+policy); ``tests/test_docs.py`` pins that table to this registry.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checkers.async_safety import AsyncSafetyChecker
+from repro.lint.checkers.determinism import DeterminismChecker, SOLVER_PACKAGES
+from repro.lint.checkers.metrics_naming import MetricsNamingChecker
+from repro.lint.checkers.protocol_frames import (
+    ProtocolFramesChecker,
+    load_protocol_vocabulary,
+)
+from repro.lint.checkers.silent_failure import SilentFailureChecker
+from repro.lint.checkers.wire_safety import PICKLE_ALLOWLIST, WireSafetyChecker
+
+__all__ = [
+    "ALL_CHECKERS",
+    "RULES",
+    "AsyncSafetyChecker",
+    "DeterminismChecker",
+    "MetricsNamingChecker",
+    "ProtocolFramesChecker",
+    "SilentFailureChecker",
+    "WireSafetyChecker",
+    "PICKLE_ALLOWLIST",
+    "SOLVER_PACKAGES",
+    "load_protocol_vocabulary",
+]
+
+#: Every shipped checker, instantiated once (checkers are stateless).
+ALL_CHECKERS = (
+    AsyncSafetyChecker(),
+    DeterminismChecker(),
+    WireSafetyChecker(),
+    SilentFailureChecker(),
+    MetricsNamingChecker(),
+    ProtocolFramesChecker(),
+)
+
+#: ``{rule id: one-line description}`` for ``--list-rules`` and the docs.
+RULES = {checker.rule: checker.description for checker in ALL_CHECKERS}

@@ -1,0 +1,132 @@
+"""REPRO-ASYNC01 — blocking calls inside ``async def`` bodies.
+
+The service, cluster and observability tiers are single event loop per
+process: one ``time.sleep`` in a handler stalls every connected client,
+every heartbeat and every watch stream at once.  The rule flags, inside
+any ``async def`` body (but not inside nested *sync* functions, which
+are typically ``run_in_executor`` targets):
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* any ``socket.*(...)`` module call — use asyncio streams;
+* ``subprocess.run/call/check_call/check_output/Popen/getoutput/
+  getstatusoutput`` and ``os.system/os.popen`` — use
+  ``asyncio.create_subprocess_*`` or a worker thread;
+* the builtin ``open(...)`` and ``pathlib`` read/write helpers
+  (``read_text`` & friends) — sync file I/O blocks the loop; stage it
+  through ``run_in_executor``;
+* loop-less ``.result()`` — ``concurrent.futures`` ``.result()`` blocks
+  the loop it is called from (``await`` the future, or wrap it with
+  ``asyncio.wrap_future``).
+
+Legitimate exceptions (an ``asyncio.Future.result()`` after the future
+is known done, a tiny config read at startup) carry a
+``# repro: ignore[REPRO-ASYNC01] -- reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, Set, Tuple
+
+from repro.lint.core import Checker, dotted_name
+
+__all__ = ["AsyncSafetyChecker"]
+
+#: Exact dotted calls that block.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() blocks the event loop; use `await asyncio.sleep(...)`",
+    "os.system": "os.system() blocks the event loop; use asyncio.create_subprocess_shell",
+    "os.popen": "os.popen() blocks the event loop; use asyncio.create_subprocess_shell",
+    "os.wait": "os.wait() blocks the event loop; await the process instead",
+}
+
+#: Module prefixes whose calls block (any attribute of these modules).
+_BLOCKING_PREFIXES = {
+    "socket": "synchronous socket call blocks the event loop; use asyncio streams",
+    "subprocess": "synchronous subprocess call blocks the event loop; "
+    "use asyncio.create_subprocess_exec or a worker thread",
+}
+
+#: Sync file-I/O method names on attribute calls (pathlib idiom).
+_FILE_IO_METHODS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+class AsyncSafetyChecker(Checker):
+    rule = "REPRO-ASYNC01"
+    description = (
+        "blocking call (time.sleep, socket.*, subprocess.*, sync file I/O, "
+        "loop-less .result()) inside an async def body"
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: pathlib.PurePath
+    ) -> Iterable[Tuple[int, int, str]]:
+        # Names bound by `from time import sleep` style imports.
+        sleep_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_aliases.add(alias.asname or alias.name)
+        violations: list = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for call in _async_calls(node):
+                    message = _blocking_reason(call, sleep_aliases)
+                    if message is not None:
+                        violations.append(
+                            (call.lineno, call.col_offset, message)
+                        )
+        return violations
+
+
+def _async_calls(func: ast.AsyncFunctionDef) -> Iterable[ast.Call]:
+    """Calls lexically inside ``func``'s own async context.
+
+    Descends into nested *async* defs (their bodies run on the same
+    loop) but not into nested sync defs or lambdas — those are usually
+    executor targets whose blocking is the whole point.
+    """
+    stack: list = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _blocking_reason(call: ast.Call, sleep_aliases: Set[str]) -> "str | None":
+    func = call.func
+    name = dotted_name(func)
+    if name is not None:
+        if name in _BLOCKING_CALLS:
+            return f"{name}(): {_BLOCKING_CALLS[name]}"
+        root = name.split(".", 1)[0]
+        if root in _BLOCKING_PREFIXES and "." in name:
+            return f"{name}(): {_BLOCKING_PREFIXES[root]}"
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return (
+                "open(): synchronous file I/O blocks the event loop; "
+                "stage it through run_in_executor"
+            )
+        if func.id in sleep_aliases:
+            return (
+                f"{func.id}() (time.sleep) blocks the event loop; "
+                "use `await asyncio.sleep(...)`"
+            )
+    if isinstance(func, ast.Attribute):
+        if func.attr == "result" and not call.args and not call.keywords:
+            return (
+                ".result() without a timeout blocks the event loop; "
+                "await the future (or asyncio.wrap_future) instead"
+            )
+        if func.attr in _FILE_IO_METHODS:
+            return (
+                f".{func.attr}(): synchronous file I/O blocks the event "
+                "loop; stage it through run_in_executor"
+            )
+    return None

@@ -1,0 +1,117 @@
+"""REPRO-OBS01 — metric names must obey the registry's naming rule.
+
+PR 6 enforced ``repro_<subsystem>_<what>_<unit>`` (unit one of
+``total`` / ``bytes`` / ``seconds`` / ``ratio``) at *registration* time
+and re-checked it with an inline CI script that imported every tier.
+This checker re-homes that lint as static analysis: it validates the
+name (and label names) at every **construction site** — calls to
+``REGISTRY.counter/gauge/histogram``, the ``repro.obs`` module-level
+helpers, and direct ``Counter(...)`` / ``Gauge(...)`` /
+``Histogram(...)`` literals — so a bad name fails ``python -m repro
+lint`` before the module is ever imported, and dynamically-composed
+names (non-literal first argument) still fall back to the runtime
+``ValueError`` in :mod:`repro.obs.metrics`.
+
+The regex here is deliberately the same pattern
+:data:`repro.obs.metrics.METRIC_NAME_RE` compiles; a unit test pins the
+two together so they cannot drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Iterable, Tuple
+
+from repro.lint.core import Checker, dotted_name
+
+__all__ = ["MetricsNamingChecker", "METRIC_NAME_PATTERN", "LABEL_NAME_PATTERN"]
+
+#: Kept textually identical to repro.obs.metrics.METRIC_NAME_RE (pinned
+#: by tests/test_lint.py) — the lint layer must not import the runtime.
+METRIC_NAME_PATTERN = r"^repro_[a-z_]+_(total|bytes|seconds|ratio)$"
+LABEL_NAME_PATTERN = r"^[a-z_][a-z0-9_]*$"
+
+_METRIC_NAME_RE = re.compile(METRIC_NAME_PATTERN)
+_LABEL_NAME_RE = re.compile(LABEL_NAME_PATTERN)
+
+#: Factory method / helper names whose first argument is a metric name.
+_FACTORY_NAMES = {"counter", "gauge", "histogram"}
+
+#: Direct constructor names.
+_CONSTRUCTOR_NAMES = {"Counter", "Gauge", "Histogram"}
+
+
+class MetricsNamingChecker(Checker):
+    rule = "REPRO-OBS01"
+    description = (
+        "metric constructed with a name (or label) violating "
+        "repro_[a-z_]+_(total|bytes|seconds|ratio)"
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: pathlib.PurePath
+    ) -> Iterable[Tuple[int, int, str]]:
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not _is_metric_site(node):
+                continue
+            name_node = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    name_node = keyword.value
+            if isinstance(name_node, ast.Constant) and isinstance(
+                name_node.value, str
+            ):
+                if not _METRIC_NAME_RE.match(name_node.value):
+                    violations.append(
+                        (
+                            name_node.lineno,
+                            name_node.col_offset,
+                            f"metric name {name_node.value!r} does not match "
+                            f"{METRIC_NAME_PATTERN}",
+                        )
+                    )
+            for keyword in node.keywords:
+                if keyword.arg != "labels":
+                    continue
+                for element in _constant_strings(keyword.value):
+                    if not _LABEL_NAME_RE.match(element.value):
+                        violations.append(
+                            (
+                                element.lineno,
+                                element.col_offset,
+                                f"label name {element.value!r} does not "
+                                f"match {LABEL_NAME_PATTERN}",
+                            )
+                        )
+        return violations
+
+
+def _is_metric_site(call: ast.Call) -> bool:
+    """A registry factory call, an obs helper, or a direct constructor."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in _CONSTRUCTOR_NAMES
+    if isinstance(func, ast.Attribute):
+        if func.attr in _CONSTRUCTOR_NAMES:
+            return True  # e.g. metrics.Counter(...) / obs.Gauge(...)
+        if func.attr in _FACTORY_NAMES:
+            receiver = dotted_name(func.value)
+            if receiver is None:
+                return False
+            # REGISTRY.counter(...), registry.gauge(...), obs.histogram(...),
+            # self.registry.counter(...) — anything registry/obs flavoured.
+            tail = receiver.rsplit(".", 1)[-1].lower()
+            return tail in {"registry", "obs", "metrics"} or "registry" in tail
+    return False
+
+
+def _constant_strings(node: ast.expr):
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                yield element

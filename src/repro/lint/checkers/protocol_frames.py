@@ -1,0 +1,214 @@
+"""REPRO-PROTO01 — frame-type literals must be documented protocol frames.
+
+Both wire protocols are deliberately literal-heavy NDJSON (``{"op":
+"submit", ...}`` / ``{"event": "chunk", ...}``), which means a typo'd or
+undocumented frame type — ``"chunk-done"`` for ``"chunk_done"``, a new
+event nobody added to ``docs/protocol.md`` — parses, ships, and fails
+only at the far end of a socket.  This rule pins every frame-type
+literal at *send* sites (dict literals with an ``"op"``/``"event"`` key)
+and *match* sites (comparisons and ``match`` statements against ``op`` /
+``event`` expressions) to the protocol constant tuples:
+
+* :data:`repro.service.protocol.SERVICE_OPS` /
+  :data:`~repro.service.protocol.SERVICE_EVENTS` for files under the
+  ``service`` package;
+* :data:`repro.cluster.protocol.WORKER_OPS` /
+  :data:`~repro.cluster.protocol.CONTROL_OPS` /
+  :data:`~repro.cluster.protocol.COORDINATOR_EVENTS` for files under
+  ``cluster``;
+* the union everywhere else (clients and tests may speak either).
+
+The tuples are read from the protocol modules' *source* (AST, no
+import), and ``tests/test_docs.py`` pins the same tuples against
+``docs/protocol.md`` — so code, checker and documentation can only move
+together.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.core import Checker
+
+__all__ = ["ProtocolFramesChecker", "load_protocol_vocabulary"]
+
+#: Constant tuples harvested from each protocol module's AST.
+_SERVICE_CONSTANTS = ("SERVICE_OPS", "SERVICE_EVENTS")
+_CLUSTER_CONSTANTS = ("WORKER_OPS", "CONTROL_OPS", "COORDINATOR_EVENTS")
+
+_REPRO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_vocabulary_cache: Optional[Dict[str, Dict[str, Set[str]]]] = None
+
+
+def _harvest_tuples(path: pathlib.Path, names: Tuple[str, ...]) -> Dict[str, Set[str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in names:
+                value = ast.literal_eval(node.value)
+                found[target.id] = {str(item) for item in value}
+    missing = [name for name in names if name not in found]
+    if missing:
+        raise RuntimeError(f"{path} does not define {missing} — vocabulary lost")
+    return found
+
+
+def load_protocol_vocabulary() -> Dict[str, Dict[str, Set[str]]]:
+    """``{"service"|"cluster"|"any": {"op": {...}, "event": {...}}}``.
+
+    Parsed once per process from the shipped protocol modules (located
+    relative to this package, so the vocabulary is always the code under
+    the same ``repro`` tree as the checker).
+    """
+    global _vocabulary_cache
+    if _vocabulary_cache is None:
+        service = _harvest_tuples(
+            _REPRO_ROOT / "service" / "protocol.py", _SERVICE_CONSTANTS
+        )
+        cluster = _harvest_tuples(
+            _REPRO_ROOT / "cluster" / "protocol.py", _CLUSTER_CONSTANTS
+        )
+        service_vocab = {
+            "op": service["SERVICE_OPS"],
+            "event": service["SERVICE_EVENTS"],
+        }
+        cluster_vocab = {
+            "op": cluster["WORKER_OPS"] | cluster["CONTROL_OPS"],
+            "event": cluster["COORDINATOR_EVENTS"],
+        }
+        _vocabulary_cache = {
+            "service": service_vocab,
+            "cluster": cluster_vocab,
+            "any": {
+                "op": service_vocab["op"] | cluster_vocab["op"],
+                "event": service_vocab["event"] | cluster_vocab["event"],
+            },
+        }
+    return _vocabulary_cache
+
+
+class ProtocolFramesChecker(Checker):
+    rule = "REPRO-PROTO01"
+    description = (
+        "frame-type literal at a send/match site that is not a member of "
+        "the documented protocol constants"
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: pathlib.PurePath
+    ) -> Iterable[Tuple[int, int, str]]:
+        vocabulary = load_protocol_vocabulary()
+        if "service" in path.parts:
+            vocab, scope = vocabulary["service"], "service protocol"
+        elif "cluster" in path.parts:
+            vocab, scope = vocabulary["cluster"], "cluster protocol"
+        else:
+            vocab, scope = vocabulary["any"], "service or cluster protocol"
+        violations: List[Tuple[int, int, str]] = []
+
+        def _flag(node: ast.expr, kind: str, value: str) -> None:
+            constants = (
+                "SERVICE_OPS/SERVICE_EVENTS"
+                if scope == "service protocol"
+                else "WORKER_OPS/CONTROL_OPS/COORDINATOR_EVENTS"
+                if scope == "cluster protocol"
+                else "the protocol constant tuples"
+            )
+            violations.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f'frame type "{value}" is not a documented {scope} '
+                    f"{kind} (see {constants} in the protocol modules and "
+                    "docs/protocol.md)",
+                )
+            )
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    kind = _frame_key(key)
+                    if (
+                        kind is not None
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value not in vocab[kind]
+                    ):
+                        _flag(value, kind, value.value)
+            elif isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                kinds = [_frame_expr(side) for side in sides]
+                if not any(kinds):
+                    continue
+                kind = next(k for k in kinds if k)
+                for side, side_kind in zip(sides, kinds):
+                    if side_kind is not None:
+                        continue  # the frame expression itself
+                    for constant in _string_constants(side):
+                        if constant.value not in vocab[kind]:
+                            _flag(constant, kind, constant.value)
+            elif isinstance(node, ast.Match):
+                kind = _frame_expr(node.subject)
+                if kind is None:
+                    continue
+                for case in node.cases:
+                    for constant in _match_constants(case.pattern):
+                        if constant.value not in vocab[kind]:
+                            _flag(constant, kind, constant.value)
+        return violations
+
+
+def _frame_key(node: "ast.expr | None") -> Optional[str]:
+    """``"op"``/``"event"`` when ``node`` is that dict-key constant."""
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in ("op", "event")
+    ):
+        return node.value
+    return None
+
+
+def _frame_expr(node: "ast.expr | None") -> Optional[str]:
+    """Recognise expressions that *read* a frame type.
+
+    ``op`` / ``event`` names, ``message.get("op")`` calls and
+    ``message["event"]`` subscripts all mark the comparison (or
+    ``match``) as a frame-type site.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name) and node.id in ("op", "event"):
+        return node.id
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and node.args
+    ):
+        return _frame_key(node.args[0])
+    if isinstance(node, ast.Subscript):
+        return _frame_key(node.slice)
+    return None
+
+
+def _string_constants(node: ast.expr):
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        yield node
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            yield from _string_constants(element)
+
+
+def _match_constants(pattern: ast.pattern):
+    if isinstance(pattern, ast.MatchValue):
+        yield from _string_constants(pattern.value)
+    elif isinstance(pattern, ast.MatchOr):
+        for sub in pattern.patterns:
+            yield from _match_constants(sub)

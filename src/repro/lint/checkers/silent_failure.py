@@ -1,0 +1,96 @@
+"""REPRO-ERR01 — broad exception handlers must not swallow silently.
+
+A ``try: ... except Exception: pass`` in a serving tier converts every
+future bug in the guarded block into an invisible one: the service keeps
+answering, the coordinator keeps scheduling, and nothing anywhere
+records that work is being dropped (this is exactly how subscriber
+failures vanished in ``obs/events.py`` before PR 7).  The repository's
+stance: a broad handler must *do* something — re-raise, log/warn, emit
+an event, bump a ``repro.obs`` counter, store the error — or carry a
+``# repro: ignore[REPRO-ERR01] -- reason`` suppression stating why
+dropping is genuinely correct.
+
+The rule flags ``except``/``except Exception``/``except BaseException``
+handlers (bare or aliased, alone or in a tuple) whose body consists of
+nothing but ``pass`` / ``...`` / ``continue`` / ``break`` / a bare or
+constant ``return``.  Narrow handlers (``except FileNotFoundError:
+pass``) are deliberate-looking and stay legal — the rule targets the
+broad nets that catch bugs, not conditions.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, Tuple
+
+from repro.lint.core import Checker
+
+__all__ = ["SilentFailureChecker"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+class SilentFailureChecker(Checker):
+    rule = "REPRO-ERR01"
+    description = (
+        "broad `except Exception` handler that neither re-raises, logs, "
+        "counts, nor stores the error (silent swallow)"
+    )
+
+    def check(
+        self, tree: ast.Module, source: str, path: pathlib.PurePath
+    ) -> Iterable[Tuple[int, int, str]]:
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _body_is_silent(node.body):
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                violations.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"{caught}: handler swallows the error silently; "
+                        "re-raise, log, or count it on a repro.obs counter "
+                        "(or suppress with a stated reason)",
+                    )
+                )
+        return violations
+
+
+def _is_broad(type_node: "ast.expr | None") -> bool:
+    if type_node is None:  # bare except
+        return True
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(element) for element in type_node.elts)
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD
+    if isinstance(type_node, ast.Attribute):
+        return type_node.attr in _BROAD
+    return False
+
+
+def _body_is_silent(body) -> bool:
+    """True when every statement is a no-op (pass/.../continue/break or a
+    bare/constant return)."""
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(statement, ast.Return) and (
+            statement.value is None
+            or isinstance(statement.value, ast.Constant)
+        ):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring / ellipsis expression
+        return False
+    return True

@@ -1,0 +1,115 @@
+"""REPRO-WIRE01 — pickle must not spread past the cluster shim.
+
+The ROADMAP's untrusted-peer hardening item requires replacing the
+cluster's pickled job transport with a restricted, schema-checked
+serialisation (``repro.wire``).  That migration is only tractable while
+the pickle surface stays *pinned to one file*: the allowlisted
+``repro/cluster/protocol.py`` shim, whose docstring states the
+trusted-peers-only stance.  This rule fails any new
+``pickle.loads/dumps/load/dump`` (and friends) anywhere else, so the
+surface that must migrate can never silently grow.
+
+Also flagged: ``np.load(..., allow_pickle=True)`` — the artifact cache
+deliberately reads with ``allow_pickle=False`` so a poisoned ``.npz``
+cannot execute code, and nothing else may weaken that.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, Tuple
+
+from repro.lint.core import Checker, dotted_name
+
+__all__ = ["WireSafetyChecker", "PICKLE_ALLOWLIST"]
+
+#: POSIX path suffixes allowed to touch pickle: the single cluster
+#: transport shim (see its module docstring for the trust stance).
+PICKLE_ALLOWLIST = ("repro/cluster/protocol.py",)
+
+#: Pickle-family entry points (module.function).
+_PICKLE_CALLS = {
+    "pickle.loads",
+    "pickle.dumps",
+    "pickle.load",
+    "pickle.dump",
+    "pickle.Unpickler",
+    "pickle.Pickler",
+    "cPickle.loads",
+    "cPickle.dumps",
+    "marshal.loads",
+    "marshal.dumps",
+    "marshal.load",
+    "marshal.dump",
+    "shelve.open",
+}
+
+
+class WireSafetyChecker(Checker):
+    rule = "REPRO-WIRE01"
+    description = (
+        "pickle/marshal call outside the allowlisted repro/cluster/protocol.py "
+        "shim (or np.load with allow_pickle=True)"
+    )
+
+    def applies_to(self, path: pathlib.PurePath) -> bool:
+        posix = path.as_posix()
+        return not any(posix.endswith(suffix) for suffix in PICKLE_ALLOWLIST)
+
+    def check(
+        self, tree: ast.Module, source: str, path: pathlib.PurePath
+    ) -> Iterable[Tuple[int, int, str]]:
+        from_pickle = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "pickle",
+                "marshal",
+            ):
+                for alias in node.names:
+                    from_pickle.add(alias.asname or alias.name)
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _PICKLE_CALLS:
+                violations.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"{name}() outside the allowlisted cluster shim "
+                        "(repro/cluster/protocol.py); serialise through "
+                        "repro.wire instead",
+                    )
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in from_pickle
+            ):
+                violations.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"{node.func.id}() (imported from pickle/marshal) "
+                        "outside the allowlisted cluster shim; serialise "
+                        "through repro.wire instead",
+                    )
+                )
+                continue
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "allow_pickle"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    violations.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            "allow_pickle=True re-opens arbitrary code "
+                            "execution on artifact reads; keep it False",
+                        )
+                    )
+        return violations

@@ -79,6 +79,12 @@ _EVENTS_TOTAL = REGISTRY.counter(
     labels=("type",),
 )
 
+_SUBSCRIBER_ERRORS_TOTAL = REGISTRY.counter(
+    "repro_obs_subscriber_errors_total",
+    "Event-bus subscriber callbacks that raised (event delivered to the "
+    "others; the failure is counted here instead of propagating).",
+)
+
 Subscriber = Callable[[Dict[str, Any]], None]
 
 
@@ -130,7 +136,10 @@ class EventBus:
                 try:
                     callback(event)
                 except Exception:
-                    pass  # observability must never take the emitter down
+                    # Observability must never take the emitter down — but
+                    # a raising subscriber must not vanish either (it means
+                    # a watch bridge or status view is broken): count it.
+                    _SUBSCRIBER_ERRORS_TOTAL.inc()
         return event
 
 

@@ -103,7 +103,7 @@ class MetricsServer:
         finally:
             try:
                 writer.close()
-            except Exception:
+            except Exception:  # repro: ignore[REPRO-ERR01] -- close() on an already-broken scrape socket has nothing left to report
                 pass
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ runs through the :class:`repro.runtime.SweepEngine`::
     python -m repro cache info       # artifact-cache statistics (--json for tools)
     python -m repro cache clear      # drop every cached artifact
     python -m repro cache evict --max-bytes 500M   # LRU-trim the cache
+    python -m repro lint             # project-aware static analysis (docs/lint.md)
 
 Running sweeps at scale
 -----------------------
@@ -873,6 +874,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="connection retry budget (seconds)",
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="project-aware static analysis (repro.lint); exit 0 = clean",
+        description=(
+            "Check the repository's contracts at the AST level: async-safety "
+            "(REPRO-ASYNC01), solver-path determinism (REPRO-DET01), the "
+            "pickle allowlist (REPRO-WIRE01), silent exception swallows "
+            "(REPRO-ERR01), metric naming (REPRO-OBS01) and protocol frame "
+            "vocabulary (REPRO-PROTO01).  Suppress inline with "
+            "`# repro: ignore[RULE] -- reason`; grandfather with "
+            "--write-baseline.  See docs/lint.md."
+        ),
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect / clear / LRU-evict the artifact cache"
     )
@@ -905,6 +923,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_worker(args)
         if args.command == "cluster":
             return _cmd_cluster(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint_command
+
+            return run_lint_command(args)
         if args.metrics_port is not None:
             # `run` has no event loop of its own (the distributed executor
             # hides one on a private thread), so the endpoint gets a daemon

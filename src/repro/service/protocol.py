@@ -96,6 +96,25 @@ PROTOCOL_VERSION = 3
 #: Stable machine-readable failure classes carried by ``error`` events.
 ERROR_CODES = ("bad-request", "busy", "cancelled", "failed")
 
+#: Every client -> server ``op`` the service understands.  These tuples
+#: are the protocol's *vocabulary*: ``docs/protocol.md`` documents each
+#: member (pinned by ``tests/test_docs.py``) and the ``REPRO-PROTO01``
+#: lint rule pins every frame-type literal in the codebase against them,
+#: so an op can only be added here, in the docs, and in the code together.
+SERVICE_OPS = ("submit", "cancel", "status", "ping", "watch")
+
+#: Every server -> client ``event`` the service emits.
+SERVICE_EVENTS = (
+    "accepted",
+    "progress",
+    "result",
+    "error",
+    "watching",
+    "obs",
+    "pong",
+    "status",
+)
+
 
 # ----------------------------------------------------------------------
 # Message constructors (shared by server and client so field names can

@@ -35,6 +35,8 @@ DOCTEST_MODULES = [
     "repro.cluster.control",
     "repro.obs.metrics",
     "repro.obs.events",
+    "repro.lint.core",
+    "repro.lint.baseline",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -55,6 +57,7 @@ class TestDocsTree:
             "operations.md",
             "scheduling.md",
             "observability.md",
+            "lint.md",
         ):
             assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
@@ -66,6 +69,7 @@ class TestDocsTree:
             "operations.md",
             "scheduling.md",
             "observability.md",
+            "lint.md",
         ):
             assert f"docs/{name}" in readme, f"README does not link docs/{name}"
 
@@ -122,6 +126,59 @@ class TestDocsTree:
         assert done["count"] == 2
         assert '"kept"' in spec or "`kept`" in spec, "split_ack kept field undocumented"
         assert "`count`" in spec or '"count"' in spec, "chunk_done count field undocumented"
+
+    def test_protocol_vocabulary_constants_cover_the_spec(self):
+        """The frame-vocabulary tuples (which pin the REPRO-PROTO01 lint
+        rule) must agree with the frames the spec documents and the
+        constructors actually emit."""
+        from repro.service import protocol as service_protocol
+        from repro.cluster import protocol as cluster_protocol
+
+        assert set(service_protocol.SERVICE_OPS) == {
+            "submit", "cancel", "status", "ping", "watch",
+        }
+        for event in ("accepted", "progress", "result", "error", "watching",
+                      "obs", "pong", "status"):
+            assert event in service_protocol.SERVICE_EVENTS
+        # Constructor outputs are members of their vocabulary.
+        assert (
+            cluster_protocol.hello_request("n", 1, 2, "v")["op"]
+            in cluster_protocol.WORKER_OPS
+        )
+        assert (
+            cluster_protocol.split_ack_request("c", 1)["op"]
+            in cluster_protocol.WORKER_OPS
+        )
+        for event_message in (
+            cluster_protocol.welcome_event("w", 1.0),
+            cluster_protocol.split_event("c", 0),
+            cluster_protocol.cancel_event("c"),
+            cluster_protocol.shutdown_event(),
+            cluster_protocol.error_event("boom"),
+        ):
+            assert event_message["event"] in cluster_protocol.COORDINATOR_EVENTS
+
+    def test_lint_doc_matches_the_shipped_rules(self):
+        """docs/lint.md is the rule reference: every shipped rule id, the
+        exit-code contract and the suppression syntax must be there, and
+        the metric pattern quoted must be the enforced one."""
+        from repro.lint import RULES
+        from repro.obs.metrics import METRIC_NAME_RE
+
+        text = (REPO_ROOT / "docs" / "lint.md").read_text(encoding="utf-8")
+        for rule in RULES:
+            assert f"`{rule}`" in text, f"rule {rule} undocumented in lint.md"
+        for needle in (
+            "python -m repro lint",
+            "--write-baseline",
+            "--format json",
+            "--list-rules",
+            "repro: ignore[",
+            "lint-baseline.json",
+            "REPRO-PARSE",
+        ):
+            assert needle in text, f"lint.md does not mention {needle}"
+        assert METRIC_NAME_RE.pattern.strip("^$") in text
 
     def test_scheduling_doc_names_the_shipped_knobs(self):
         """The scheduler guide must reference the real flags and telemetry
