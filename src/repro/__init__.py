@@ -78,6 +78,6 @@ runtime unconditionally and the modelling layers only lazily, per
 workload.
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,88 @@
+"""The gateway's route table and SSE event vocabulary.
+
+Like the TCP protocols' ``SERVICE_OPS`` / ``SERVICE_EVENTS`` tuples,
+:data:`ROUTES` and :data:`SSE_EVENTS` are the gateway's *vocabulary*:
+``docs/gateway.md`` documents every member (pinned by
+``tests/test_docs.py``) and the ``REPRO-PROTO01`` lint rule pins every
+route-shaped string literal and SSE event name in the package against
+them, so a route can only be added here, in the docs, and in the code
+together.
+
+Routes are written as ``"METHOD /path"`` with ``{name}`` placeholders;
+:func:`match_route` resolves a concrete request against the table.
+
+>>> match_route("GET", "/v1/sweeps/sw-1a2b/result")
+('GET /v1/sweeps/{id}/result', {'id': 'sw-1a2b'})
+>>> match_route("GET", "/v1/nope") is None
+True
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ROUTES", "SSE_EVENTS", "match_route"]
+
+#: Every route the gateway serves, ``"METHOD /path"`` with placeholders.
+ROUTES = (
+    "POST /v1/sweeps",
+    "GET /v1/sweeps/{id}",
+    "GET /v1/sweeps/{id}/result",
+    "GET /v1/sweeps/{id}/events",
+    "DELETE /v1/sweeps/{id}",
+    "GET /v1/artifacts/{digest}",
+    "GET /healthz",
+)
+
+#: Every SSE event name the gateway's ``/events`` stream emits.
+SSE_EVENTS = (
+    "snapshot",  # stream-opening state of the sweep (and after replay gaps)
+    "progress",  # one engine progress tick: done / total / label
+    "obs",       # one bridged repro.obs event (bus seq preserved in data)
+    "done",      # terminal state: completed / failed / cancelled
+)
+
+#: Placeholder values: one non-empty path segment.
+_SEGMENT = r"[^/]+"
+
+
+def _compile(route: str) -> Tuple[str, "re.Pattern[str]"]:
+    method, _, path = route.partition(" ")
+    pattern = re.sub(
+        r"\{([a-z]+)\}", lambda m: f"(?P<{m.group(1)}>{_SEGMENT})", path
+    )
+    return method, re.compile(f"^{pattern}$")
+
+
+_COMPILED = tuple((route, *_compile(route)) for route in ROUTES)
+
+
+def match_route(method: str, path: str) -> Optional[Tuple[str, Dict[str, str]]]:
+    """Resolve ``(method, path)`` to ``(route, placeholders)`` or ``None``.
+
+    >>> match_route("POST", "/v1/sweeps")
+    ('POST /v1/sweeps', {})
+    >>> match_route("DELETE", "/v1/sweeps/abc")
+    ('DELETE /v1/sweeps/{id}', {'id': 'abc'})
+    """
+    for route, route_method, pattern in _COMPILED:
+        if route_method != method:
+            continue
+        found = pattern.match(path)
+        if found is not None:
+            return route, found.groupdict()
+    return None
+
+
+def allowed_methods(path: str) -> Tuple[str, ...]:
+    """Methods the table accepts for ``path`` (for 405 Allow headers).
+
+    >>> allowed_methods("/v1/sweeps/abc")
+    ('GET', 'DELETE')
+    """
+    methods = []
+    for _, route_method, pattern in _COMPILED:
+        if pattern.match(path) and route_method not in methods:
+            methods.append(route_method)
+    return tuple(methods)

@@ -1,0 +1,52 @@
+"""Server-Sent-Events framing (RFC-less but standard: whatwg HTML §9.2).
+
+The gateway streams sweep progress as ``text/event-stream``: one frame
+per event, ``id:`` carrying the gateway's per-sweep monotonic sequence
+number (which doubles as the ``Last-Event-ID`` replay cursor on
+reconnect), ``event:`` one of :data:`repro.gateway.routes.SSE_EVENTS`,
+``data:`` a single JSON document.  Bridged :mod:`repro.obs` events keep
+their original bus ``seq`` inside ``data`` — two monotonic sequences,
+one per transport hop.
+
+>>> format_sse(3, "progress", {"done": 2, "total": 8})
+b'id: 3\\nevent: progress\\ndata: {"done": 2, "total": 8}\\n\\n'
+>>> KEEPALIVE
+b': keepalive\\n\\n'
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro import httpd
+
+__all__ = ["CONTENT_TYPE", "KEEPALIVE", "format_sse", "stream_preamble"]
+
+#: The event-stream media type browsers' ``EventSource`` expects.
+CONTENT_TYPE = "text/event-stream; charset=utf-8"
+
+#: Comment frame written on idle so intermediaries keep the stream alive.
+KEEPALIVE = b": keepalive\n\n"
+
+
+def format_sse(event_id: int, event: str, data: Any) -> bytes:
+    """One complete SSE frame: ``id`` / ``event`` / one-line JSON ``data``."""
+    payload = json.dumps(data, sort_keys=True)
+    return f"id: {event_id}\nevent: {event}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def stream_preamble() -> bytes:
+    """The response head that turns the connection into an event stream.
+
+    No ``Content-Length`` — the stream ends when the server closes the
+    connection (``Connection: close``, like every gateway response).
+
+    >>> stream_preamble().startswith(b"HTTP/1.1 200 OK\\r\\n")
+    True
+    """
+    head = httpd.render_response(200, b"", content_type=CONTENT_TYPE,
+                                 extra_headers=(("Cache-Control", "no-store"),))
+    # render_response stamps Content-Length: 0; strip it — the stream's
+    # length is unknown by construction.
+    return head.replace(b"Content-Length: 0\r\n", b"")

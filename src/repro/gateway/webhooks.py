@@ -1,0 +1,164 @@
+"""Completion webhooks: signed, retried, bounded.
+
+A submit may register a callback URL; when the sweep reaches a terminal
+state the gateway POSTs a JSON document there.  Delivery is best-effort
+but principled:
+
+* the body is signed — ``X-Repro-Signature: sha256=<hmac-hex>`` over the
+  exact request bytes with the gateway's shared secret, so the receiver
+  can authenticate the call without trusting the network
+  (:func:`verify_signature` is the receiver-side check);
+* failures retry with exponential backoff
+  (``base * 2**attempt``, capped), a bounded number of attempts, and a
+  ``X-Repro-Delivery-Attempt`` header so receivers can deduplicate;
+* only ``http://`` URLs are dialled (the gateway carries no TLS stack);
+  anything else fails fast as undeliverable.
+
+>>> signature = sign_payload(b'{"state": "completed"}', "s3cret")
+>>> signature.startswith("sha256=")
+True
+>>> verify_signature(b'{"state": "completed"}', "s3cret", signature)
+True
+>>> verify_signature(b'{"state": "tampered"}', "s3cret", signature)
+False
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import hmac
+from typing import Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro import httpd, obs
+
+__all__ = [
+    "SIGNATURE_HEADER",
+    "WebhookDeliverer",
+    "sign_payload",
+    "verify_signature",
+]
+
+#: The header carrying the HMAC of the request body.
+SIGNATURE_HEADER = "X-Repro-Signature"
+
+_DELIVERIES_TOTAL = obs.counter(
+    "repro_gateway_webhook_deliveries_total",
+    "Completion webhooks by final outcome (delivered / exhausted).",
+    labels=("outcome",),
+)
+_ATTEMPTS_TOTAL = obs.counter(
+    "repro_gateway_webhook_attempts_total",
+    "Individual webhook POST attempts, including retries.",
+)
+
+
+def sign_payload(body: bytes, secret: str) -> str:
+    """The ``X-Repro-Signature`` value for ``body``: ``sha256=<hmac-hex>``."""
+    mac = hmac.new(secret.encode("utf-8"), body, hashlib.sha256)
+    return "sha256=" + mac.hexdigest()
+
+
+def verify_signature(body: bytes, secret: str, signature: str) -> bool:
+    """Receiver-side check: constant-time compare against the header."""
+    return hmac.compare_digest(sign_payload(body, secret), signature)
+
+
+def _split_http_url(url: str) -> Tuple[str, int, str]:
+    """``(host, port, path)`` of an ``http://`` URL; ValueError otherwise."""
+    parts = urlsplit(url)
+    if parts.scheme != "http" or not parts.hostname:
+        raise ValueError(f"webhook URL must be http://HOST[:PORT]/PATH, got {url!r}")
+    path = parts.path or "/"
+    if parts.query:
+        path = f"{path}?{parts.query}"
+    return parts.hostname, parts.port or 80, path
+
+
+class WebhookDeliverer:
+    """POST signed payloads with bounded exponential-backoff retry."""
+
+    def __init__(
+        self,
+        secret: str,
+        attempts: int = 3,
+        backoff_seconds: float = 0.25,
+        backoff_cap_seconds: float = 5.0,
+        request_timeout: float = 10.0,
+    ):
+        self.secret = secret
+        self.attempts = max(1, attempts)
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self.request_timeout = request_timeout
+
+    async def deliver(self, url: str, body: bytes) -> bool:
+        """Deliver ``body`` to ``url``; True when a 2xx came back in time.
+
+        Every attempt is counted; the terminal outcome lands on
+        ``repro_gateway_webhook_deliveries_total{outcome=...}``.
+        """
+        try:
+            host, port, path = _split_http_url(url)
+        except ValueError:
+            _DELIVERIES_TOTAL.inc(outcome="exhausted")
+            return False
+        signature = sign_payload(body, self.secret)
+        for attempt in range(self.attempts):
+            if attempt:
+                delay = min(
+                    self.backoff_seconds * (2 ** (attempt - 1)),
+                    self.backoff_cap_seconds,
+                )
+                await asyncio.sleep(delay)
+            _ATTEMPTS_TOTAL.inc()
+            status = await self._post_once(host, port, path, body, signature,
+                                           attempt + 1)
+            if status is not None and 200 <= status < 300:
+                _DELIVERIES_TOTAL.inc(outcome="delivered")
+                return True
+        _DELIVERIES_TOTAL.inc(outcome="exhausted")
+        return False
+
+    async def _post_once(
+        self, host: str, port: int, path: str, body: bytes,
+        signature: str, attempt: int,
+    ) -> Optional[int]:
+        """One POST; the response status, or None on any transport failure."""
+        try:
+            return await asyncio.wait_for(
+                self._post(host, port, path, body, signature, attempt),
+                timeout=self.request_timeout,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError, httpd.HttpError):
+            return None
+
+    async def _post(
+        self, host: str, port: int, path: str, body: bytes,
+        signature: str, attempt: int,
+    ) -> int:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = (
+                f"POST {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Type: application/json; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"{SIGNATURE_HEADER}: {signature}\r\n"
+                f"X-Repro-Delivery-Attempt: {attempt}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1", "replace").split()
+            if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+                raise httpd.HttpError(502, f"malformed webhook reply {status_line!r}")
+            return int(parts[1])
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -16,18 +16,27 @@ and *match* sites (comparisons and ``match`` statements against ``op`` /
   :data:`~repro.cluster.protocol.CONTROL_OPS` /
   :data:`~repro.cluster.protocol.COORDINATOR_EVENTS` for files under
   ``cluster``;
+* :data:`repro.gateway.routes.SSE_EVENTS` for files under ``gateway``
+  (the gateway's ``event`` vocabulary is its SSE stream);
 * the union everywhere else (clients and tests may speak either).
+
+The HTTP front door gets the same treatment: any string literal shaped
+like a route (``"METHOD /path"`` — e.g. ``"GET /v1/sweeps/{id}"``) must
+be a member of :data:`repro.gateway.routes.ROUTES`, wherever it appears,
+so a handler, a test or a metric label cannot reference a route the
+table (and ``docs/gateway.md``) does not declare.
 
 The tuples are read from the protocol modules' *source* (AST, no
 import), and ``tests/test_docs.py`` pins the same tuples against
-``docs/protocol.md`` — so code, checker and documentation can only move
-together.
+``docs/protocol.md`` / ``docs/gateway.md`` — so code, checker and
+documentation can only move together.
 """
 
 from __future__ import annotations
 
 import ast
 import pathlib
+import re
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.lint.core import Checker
@@ -37,6 +46,12 @@ __all__ = ["ProtocolFramesChecker", "load_protocol_vocabulary"]
 #: Constant tuples harvested from each protocol module's AST.
 _SERVICE_CONSTANTS = ("SERVICE_OPS", "SERVICE_EVENTS")
 _CLUSTER_CONSTANTS = ("WORKER_OPS", "CONTROL_OPS", "COORDINATOR_EVENTS")
+_GATEWAY_CONSTANTS = ("ROUTES", "SSE_EVENTS")
+
+#: A string literal shaped like a gateway route: ``"METHOD /path"``.
+#: (One space, method in caps, path with no spaces — raw HTTP request
+#: lines like ``"GET / HTTP/1.0"`` have a second space and do not match.)
+_ROUTE_SHAPE_RE = re.compile(r"^[A-Z]+ /[^ ]*$")
 
 _REPRO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
@@ -60,11 +75,14 @@ def _harvest_tuples(path: pathlib.Path, names: Tuple[str, ...]) -> Dict[str, Set
 
 
 def load_protocol_vocabulary() -> Dict[str, Dict[str, Set[str]]]:
-    """``{"service"|"cluster"|"any": {"op": {...}, "event": {...}}}``.
+    """``{"service"|"cluster"|"gateway"|"any": {"op"|"event"|"route": {...}}}``.
 
     Parsed once per process from the shipped protocol modules (located
     relative to this package, so the vocabulary is always the code under
-    the same ``repro`` tree as the checker).
+    the same ``repro`` tree as the checker).  The ``route`` set is the
+    gateway's :data:`~repro.gateway.routes.ROUTES` table and is the same
+    in every scope — route-shaped literals are pinned wherever they
+    appear.
     """
     global _vocabulary_cache
     if _vocabulary_cache is None:
@@ -74,20 +92,35 @@ def load_protocol_vocabulary() -> Dict[str, Dict[str, Set[str]]]:
         cluster = _harvest_tuples(
             _REPRO_ROOT / "cluster" / "protocol.py", _CLUSTER_CONSTANTS
         )
+        gateway = _harvest_tuples(
+            _REPRO_ROOT / "gateway" / "routes.py", _GATEWAY_CONSTANTS
+        )
+        routes = gateway["ROUTES"]
         service_vocab = {
             "op": service["SERVICE_OPS"],
             "event": service["SERVICE_EVENTS"],
+            "route": routes,
         }
         cluster_vocab = {
             "op": cluster["WORKER_OPS"] | cluster["CONTROL_OPS"],
             "event": cluster["COORDINATOR_EVENTS"],
+            "route": routes,
+        }
+        gateway_vocab = {
+            "op": service["SERVICE_OPS"],  # the gateway speaks to the service
+            "event": gateway["SSE_EVENTS"],
+            "route": routes,
         }
         _vocabulary_cache = {
             "service": service_vocab,
             "cluster": cluster_vocab,
+            "gateway": gateway_vocab,
             "any": {
                 "op": service_vocab["op"] | cluster_vocab["op"],
-                "event": service_vocab["event"] | cluster_vocab["event"],
+                "event": service_vocab["event"]
+                | cluster_vocab["event"]
+                | gateway_vocab["event"],
+                "route": routes,
             },
         }
     return _vocabulary_cache
@@ -108,6 +141,8 @@ class ProtocolFramesChecker(Checker):
             vocab, scope = vocabulary["service"], "service protocol"
         elif "cluster" in path.parts:
             vocab, scope = vocabulary["cluster"], "cluster protocol"
+        elif "gateway" in path.parts:
+            vocab, scope = vocabulary["gateway"], "gateway"
         else:
             vocab, scope = vocabulary["any"], "service or cluster protocol"
         violations: List[Tuple[int, int, str]] = []
@@ -118,6 +153,8 @@ class ProtocolFramesChecker(Checker):
                 if scope == "service protocol"
                 else "WORKER_OPS/CONTROL_OPS/COORDINATOR_EVENTS"
                 if scope == "cluster protocol"
+                else "ROUTES/SSE_EVENTS"
+                if scope == "gateway"
                 else "the protocol constant tuples"
             )
             violations.append(
@@ -130,7 +167,25 @@ class ProtocolFramesChecker(Checker):
                 )
             )
 
+        def _flag_route(node: ast.expr, value: str) -> None:
+            violations.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f'route-shaped literal "{value}" is not a member of the '
+                    "gateway route table (see ROUTES in repro/gateway/"
+                    "routes.py and docs/gateway.md)",
+                )
+            )
+
         for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _ROUTE_SHAPE_RE.match(node.value)
+                and node.value not in vocab["route"]
+            ):
+                _flag_route(node, node.value)
             if isinstance(node, ast.Dict):
                 for key, value in zip(node.keys, node.values):
                     kind = _frame_key(key)

@@ -1,12 +1,17 @@
 """Prometheus exposition endpoint: ``GET /metrics`` over plain asyncio.
 
-A deliberately tiny HTTP/1.0 server — no frameworks, no dependencies —
-that answers ``GET /metrics`` (or ``/``) with
+A deliberately tiny HTTP server — no frameworks, no dependencies — that
+answers ``GET /metrics`` (or ``/``) with
 :meth:`~repro.obs.metrics.MetricsRegistry.render` and the standard
-``text/plain; version=0.0.4`` content type Prometheus scrapers expect.
-Anything else is a 404; anything that is not a ``GET`` is a 400.  Every
-response closes the connection (``Connection: close``), which keeps the
-server one screenful of code and is exactly how scrape clients behave.
+``text/plain; version=0.0.4`` content type Prometheus scrapers expect,
+plus ``GET /healthz`` for load-balancer liveness checks.  Anything else
+is a 404; anything that is not a ``GET`` is a 400.  Every response
+closes the connection (``Connection: close``), which keeps the server
+one screenful of code and is exactly how scrape clients behave.
+
+The request/response plumbing itself lives in :mod:`repro.httpd` and is
+shared with the REST/SSE gateway (:mod:`repro.gateway`); this module
+only supplies the routes.
 
 Embedding:
 
@@ -23,8 +28,9 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro import httpd
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 __all__ = ["CONTENT_TYPE", "MetricsServer"]
@@ -71,32 +77,37 @@ class MetricsServer:
             await self._server.wait_closed()
             self._server = None
 
+    def _respond(self, request: Optional[httpd.HttpRequest]) -> Tuple[int, bytes]:
+        """Route one parsed request to a complete response."""
+        if request is None or request.method != "GET":
+            body = b"metrics endpoint speaks GET only\n"
+            return 400, httpd.render_response(400, body, content_type=CONTENT_TYPE)
+        if request.path in ("/metrics", "/"):
+            payload = self.registry.render().encode("utf-8")
+            return 200, httpd.render_response(200, payload, content_type=CONTENT_TYPE)
+        if request.path == "/healthz":
+            return 200, httpd.json_response(200, {"status": "ok"})
+        body = b"try /metrics\n"
+        return 404, httpd.render_response(404, body, content_type=CONTENT_TYPE)
+
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
-            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
-            while True:  # drain headers; scrape requests have no body
-                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
-                if line in (b"\r\n", b"\n", b""):
-                    break
-            parts = request_line.decode("latin-1", "replace").split()
-            if len(parts) < 2 or parts[0] != "GET":
-                code, reason, body = 400, "Bad Request", "metrics endpoint speaks GET only\n"
-            elif parts[1].split("?", 1)[0] in ("/metrics", "/"):
-                code, reason, body = 200, "OK", self.registry.render()
+            try:
+                # Scrape requests have no body worth speaking of; anything
+                # claiming more than a few kB is not a scraper.
+                request = await httpd.read_request(
+                    reader, max_body_bytes=16_384, timeout=5.0
+                )
+            except httpd.HttpError as error:
+                code, response = error.status, httpd.error_response(
+                    error.status, str(error)
+                )
             else:
-                code, reason, body = 404, "Not Found", "try /metrics\n"
-            payload = body.encode("utf-8")
+                if request is None:
+                    return
+                code, response = self._respond(request)
             _SCRAPES_TOTAL.inc(code=str(code))
-            writer.write(
-                (
-                    f"HTTP/1.0 {code} {reason}\r\n"
-                    f"Content-Type: {CONTENT_TYPE}\r\n"
-                    f"Content-Length: {len(payload)}\r\n"
-                    "Connection: close\r\n"
-                    "\r\n"
-                ).encode("latin-1")
-            )
-            writer.write(payload)
+            writer.write(response)
             await writer.drain()
         except (asyncio.TimeoutError, ConnectionError, OSError):
             pass

@@ -399,9 +399,13 @@ class MetricsRegistry:
 REGISTRY = MetricsRegistry()
 
 
+# The label block is any mix of quoted strings and non-quote/non-brace
+# characters, so a ``}`` *inside* a quoted label value (e.g. the
+# gateway's ``route="GET /v1/sweeps/{id}"``) does not end the block; a
+# stray ``}`` outside quotes still does.
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>[^\s]+)$"
 )
 _LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
@@ -421,6 +425,11 @@ def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], f
     ...     'repro_x_total{op="run"} 3\\n')
     >>> parsed["repro_x_total"][(("op", "run"),)]
     3.0
+    >>> parse_exposition(
+    ...     '# HELP repro_r_total r\\n# TYPE repro_r_total counter\\n'
+    ...     'repro_r_total{route="GET /v1/sweeps/{id}"} 1\\n'
+    ... )["repro_r_total"][(("route", "GET /v1/sweeps/{id}"),)]
+    1.0
     >>> parse_exposition("what even is this line\\n")
     Traceback (most recent call last):
         ...

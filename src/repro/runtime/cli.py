@@ -8,6 +8,7 @@ runs through the :class:`repro.runtime.SweepEngine`::
     python -m repro run characterize # reference characterisation sweeps
     python -m repro run tables       # DNN accuracy tables (Table II protocol)
     python -m repro serve            # long-lived sweep service (repro.service)
+    python -m repro gateway          # HTTP/SSE front door over a service (repro.gateway)
     python -m repro worker           # long-lived cluster worker (repro.cluster)
     python -m repro cluster status   # live coordinator / worker statistics
     python -m repro cluster status --watch   # follow the live event stream
@@ -69,6 +70,13 @@ the persistent job journal (``--journal PATH``, ``--no-journal``) with
 ``--resume`` to re-enqueue whatever a killed server left interrupted.
 See ``docs/operations.md`` for deployment guidance and the recovery
 runbook, and ``docs/protocol.md`` for the wire protocol.
+
+``python -m repro gateway --service H:P`` puts the HTTP/SSE front door
+(:mod:`repro.gateway`) in front of a running service: REST submits,
+Server-Sent-Events progress streams, content-addressed artifact spill
+(``--artifact-root``, ``--spill-bytes``) and HMAC-signed completion
+webhooks.  Gateway replicas are stateless — run several behind a load
+balancer against one service.  See ``docs/gateway.md``.
 
 Observability
 -------------
@@ -605,6 +613,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# gateway subcommand
+# ----------------------------------------------------------------------
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster.worker import parse_address
+    from repro.gateway import Gateway, GatewayConfig
+
+    try:
+        service_host, service_port = parse_address(args.service)
+        config = GatewayConfig(
+            service_host=service_host,
+            service_port=service_port,
+            host=args.host,
+            port=args.port,
+            artifact_root=str(args.artifact_root),
+            spill_bytes=args.spill_bytes,
+            max_body_bytes=args.max_body_bytes,
+            webhook_secret=args.webhook_secret,
+            webhook_attempts=args.webhook_attempts,
+        ).validate()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        from repro import obs
+
+        gateway = await Gateway(config).start()
+        print(
+            f"gateway on {config.host}:{gateway.port} "
+            f"(service {config.service_host}:{config.service_port}, "
+            f"spill over {config.spill_bytes} bytes to {config.artifact_root})",
+            flush=True,
+        )
+        metrics_server = None
+        if args.metrics_port is not None:
+            metrics_server = await obs.MetricsServer(port=args.metrics_port).start()
+            print(
+                f"metrics on http://127.0.0.1:{metrics_server.port}/metrics",
+                flush=True,
+            )
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await gateway.stop()
+            if metrics_server is not None:
+                await metrics_server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # worker / cluster subcommands
 # ----------------------------------------------------------------------
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -802,6 +867,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(serve_parser, run_options=False)
 
+    gateway_parser = subparsers.add_parser(
+        "gateway",
+        help="HTTP/SSE front door over a running service (repro.gateway)",
+        description=(
+            "Serve the REST + Server-Sent-Events API in front of a running "
+            "`python -m repro serve` instance: submit sweeps over HTTP, "
+            "stream progress as SSE, fetch spilled results from the "
+            "content-addressed artifact store, and receive HMAC-signed "
+            "completion webhooks.  Replicas are stateless: run several "
+            "behind a load balancer against one service.  See "
+            "docs/gateway.md."
+        ),
+    )
+    gateway_parser.add_argument(
+        "--service", required=True, metavar="HOST:PORT",
+        help="the sweep service endpoint to front",
+    )
+    gateway_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    gateway_parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: 0 = pick a free port, printed on start)",
+    )
+    gateway_parser.add_argument(
+        "--artifact-root",
+        default="gateway-artifacts",
+        metavar="DIR",
+        help="artifact object store directory (default: %(default)s)",
+    )
+    gateway_parser.add_argument(
+        "--spill-bytes",
+        type=parse_size,
+        default=65536,
+        metavar="SIZE",
+        help="results whose JSON encoding exceeds SIZE leave the response "
+        "body for the artifact store (default: 64k; accepts k/M/G suffixes)",
+    )
+    gateway_parser.add_argument(
+        "--max-body-bytes",
+        type=parse_size,
+        default=1_000_000,
+        metavar="SIZE",
+        help="reject request bodies over SIZE with 413 (default: 1M)",
+    )
+    gateway_parser.add_argument(
+        "--webhook-secret",
+        default="repro-gateway",
+        metavar="SECRET",
+        help="HMAC-SHA256 key for the X-Repro-Signature webhook header",
+    )
+    gateway_parser.add_argument(
+        "--webhook-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="webhook delivery attempts before giving up (default: 3)",
+    )
+    gateway_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve repro_gateway_* Prometheus metrics on "
+        "http://127.0.0.1:PORT/metrics (0 picks a free port)",
+    )
+
     worker_parser = subparsers.add_parser(
         "worker",
         help="run a long-lived cluster worker (repro.cluster)",
@@ -919,6 +1049,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "gateway":
+            return _cmd_gateway(args)
         if args.command == "worker":
             return _cmd_worker(args)
         if args.command == "cluster":

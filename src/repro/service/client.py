@@ -37,7 +37,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
-from typing import Any, AsyncIterator, Dict, Optional, Type
+from typing import Any, AsyncIterator, Callable, Dict, Optional, Type
 
 from repro.runtime.executors import ProgressCallback
 from repro.service import protocol
@@ -233,6 +233,7 @@ class ServiceClient:
         params: Optional[Dict[str, Any]] = None,
         on_progress: Optional[ProgressCallback] = None,
         trace: Optional[str] = None,
+        on_accepted: Optional[Callable[[str, bool, str], None]] = None,
     ) -> SweepResult:
         """Run ``workload`` on the server, streaming progress along the way.
 
@@ -250,6 +251,12 @@ class ServiceClient:
             force — this one, or the first submitter's when the request
             deduplicates onto an in-flight sweep — comes back on
             :attr:`SweepResult.trace`.
+        on_accepted:
+            Receives ``(key, deduplicated, trace)`` as soon as the server
+            acknowledges the submit — i.e. the *served* trace id, before
+            the result.  The gateway uses this to start bridging ``watch``
+            events for a sweep while it is still running; plain callers
+            can ignore it and read :attr:`SweepResult.trace` at the end.
 
         Raises
         ------
@@ -292,6 +299,8 @@ class ServiceClient:
                     key = str(message.get("key", ""))
                     deduplicated = bool(message.get("deduplicated", False))
                     served_trace = str(message.get("trace", ""))
+                    if on_accepted is not None:
+                        on_accepted(key, deduplicated, served_trace)
                 elif event == "progress":
                     progress_events += 1
                     if on_progress is not None:

@@ -117,6 +117,123 @@ def run_characterize(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, A
     }
 
 
+def _eventsim_shard(pairs: tuple, fast: bool) -> Dict[str, Any]:
+    """Module-level shard body (picklable for the process-pool executor).
+
+    Runs one contiguous slice of ``(x, d)`` operand pairs through the
+    event-driven :class:`~repro.eventsim.testbench.MultiplierTestbench`
+    and returns per-pair arrays for an artifact-friendly merge.
+    """
+    import numpy as np
+
+    from repro.circuits.technology import tsmc65_like
+    from repro.core.calibration import calibrated_suite
+    from repro.core.characterization import CharacterizationPlan
+    from repro.eventsim.testbench import MultiplierTestbench
+    from repro.multiplier.config import MultiplierConfig
+
+    plan = CharacterizationPlan.quick() if fast else None
+    suite = calibrated_suite(tsmc65_like(), plan=plan).suite
+    testbench = MultiplierTestbench(suite, MultiplierConfig(name="service-eventsim"))
+    results = testbench.run_sweep([tuple(pair) for pair in pairs])
+    return {
+        "x": np.array([result.x for result in results], dtype=int),
+        "d": np.array([result.d for result in results], dtype=int),
+        "product": np.array([result.product for result in results], dtype=int),
+        "expected": np.array([result.expected for result in results], dtype=int),
+        "model": np.array(
+            [testbench.model_result(result.x, result.d) for result in results],
+            dtype=int,
+        ),
+        "executed_events": np.array(
+            [result.executed_events for result in results], dtype=int
+        ),
+        "finish_time": np.array(
+            [result.finish_time for result in results], dtype=float
+        ),
+    }
+
+
+@register_workload("eventsim")
+def run_eventsim(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
+    """Event-driven multiplier testbench sweep (paper Fig. 3 sequence).
+
+    Parameters: ``pairs`` (list of ``[x, d]`` operand pairs; default a
+    4x4 corner grid of the operand range), ``fast`` (quick calibration
+    plan), ``shards`` (split the pair list into that many contiguous
+    engine jobs — under a ``distributed`` executor they spread across
+    cluster workers, and every shard is content-addressed so warm repeats
+    resolve from the artifact cache).
+
+    The payload reports each pair's event-driven ``product`` next to the
+    direct model's result; ``matches_model`` is the end-to-end check that
+    the event framework and the vectorised multiplier model agree.
+    """
+    import numpy as np
+
+    from repro.circuits.technology import tsmc65_like
+    from repro.runtime import Artifact, Job, SweepSpec, job_key
+
+    fast = bool(params.get("fast", False))
+    shards = int(params.get("shards", 1))
+    raw_pairs = params.get("pairs")
+    if raw_pairs is None:
+        corners = (0, 5, 10, 15)
+        raw_pairs = [[x, d] for x in corners for d in corners]
+    if not isinstance(raw_pairs, list) or not raw_pairs:
+        raise ValueError("pairs must be a non-empty list of [x, d] pairs")
+    pairs = []
+    for pair in raw_pairs:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ValueError(f"malformed operand pair {pair!r} (expected [x, d])")
+        x, d = int(pair[0]), int(pair[1])
+        if not 0 <= x <= 15 or not 0 <= d <= 15:
+            raise ValueError(f"operand pair {pair!r} out of range 0..15")
+        pairs.append((x, d))
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    shards = min(shards, len(pairs))
+    bounds = np.linspace(0, len(pairs), shards + 1, dtype=int)
+    jobs = []
+    for index in range(shards):
+        shard = tuple(pairs[int(bounds[index]):int(bounds[index + 1])])
+        jobs.append(
+            Job(
+                fn=_eventsim_shard,
+                args=(shard, fast),
+                name=f"eventsim[{len(shard)}]",
+                key=job_key("service-eventsim", tsmc65_like(), shard, fast),
+                encode=lambda result: Artifact(arrays=dict(result)),
+                decode=lambda artifact: dict(artifact.arrays),
+            )
+        )
+    outputs = engine.run(SweepSpec(f"eventsim[{len(pairs)}x{shards}]", jobs))
+    merged = {
+        name: np.concatenate([output[name] for output in outputs])
+        for name in outputs[0]
+    }
+    return {
+        "command": "eventsim",
+        "fast": fast,
+        "pairs": len(pairs),
+        "shards": shards,
+        "matches_model": bool(np.array_equal(merged["product"], merged["model"])),
+        "max_abs_error": int(np.max(np.abs(merged["product"] - merged["expected"]))),
+        "total_events": int(merged["executed_events"].sum()),
+        "results": [
+            {
+                "x": int(x),
+                "d": int(d),
+                "product": int(product),
+                "expected": int(expected),
+            }
+            for x, d, product, expected in zip(
+                merged["x"], merged["d"], merged["product"], merged["expected"]
+            )
+        ],
+    }
+
+
 def _montecarlo_job(samples: int, seed: int) -> Dict[str, Any]:
     """Module-level job body (picklable for the process-pool executor)."""
     from repro.analysis.pvt_sweeps import mismatch_monte_carlo

@@ -37,6 +37,12 @@ DOCTEST_MODULES = [
     "repro.obs.events",
     "repro.lint.core",
     "repro.lint.baseline",
+    "repro.httpd",
+    "repro.gateway.config",
+    "repro.gateway.routes",
+    "repro.gateway.sse",
+    "repro.gateway.artifacts",
+    "repro.gateway.webhooks",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -58,6 +64,7 @@ class TestDocsTree:
             "scheduling.md",
             "observability.md",
             "lint.md",
+            "gateway.md",
         ):
             assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
@@ -70,6 +77,7 @@ class TestDocsTree:
             "scheduling.md",
             "observability.md",
             "lint.md",
+            "gateway.md",
         ):
             assert f"docs/{name}" in readme, f"README does not link docs/{name}"
 
@@ -158,6 +166,31 @@ class TestDocsTree:
         ):
             assert event_message["event"] in cluster_protocol.COORDINATOR_EVENTS
 
+    def test_gateway_doc_matches_the_route_table(self):
+        """docs/gateway.md is the wire-facing spec: every route in the
+        table and every SSE event name must appear there, plus the
+        headers/fields a client integrates against."""
+        from repro.gateway.routes import ROUTES, SSE_EVENTS
+
+        text = (REPO_ROOT / "docs" / "gateway.md").read_text(encoding="utf-8")
+        for route in ROUTES:
+            assert f"`{route}`" in text, f"route {route} undocumented"
+        for event in SSE_EVENTS:
+            assert f"`{event}`" in text, f"SSE event {event} undocumented"
+        for needle in (
+            "python -m repro gateway",
+            "--spill-bytes",
+            "--artifact-root",
+            "X-Repro-Signature",
+            "X-Repro-Delivery-Attempt",
+            "X-Repro-Digest",
+            "Last-Event-ID",
+            "verify_signature",
+            "webhook_url",
+            "error_code",
+        ):
+            assert needle in text, f"gateway.md does not mention {needle}"
+
     def test_lint_doc_matches_the_shipped_rules(self):
         """docs/lint.md is the rule reference: every shipped rule id, the
         exit-code contract and the suppression syntax must be there, and
@@ -205,6 +238,8 @@ class TestDocsTree:
         import repro.service.server  # noqa: F401
         import repro.cluster.worker  # noqa: F401
         import repro.obs.http  # noqa: F401
+        import repro.gateway.server  # noqa: F401
+        import repro.gateway.webhooks  # noqa: F401
         from repro import obs
         from repro.cluster.coordinator import Coordinator
 

@@ -1,0 +1,1022 @@
+"""Tests for the HTTP/SSE gateway (:mod:`repro.gateway`).
+
+Covers the tentpole guarantees:
+
+* REST submit / status / result / cancel against a live in-process
+  service, with results **bit-identical** to a direct
+  :class:`~repro.service.client.ServiceClient` run;
+* SSE progress streaming with a per-sweep monotonic ``seq`` (the SSE
+  ``id:``), ``Last-Event-ID`` replay, keepalives, and clean teardown
+  when the client disconnects mid-stream;
+* content-addressed artifact spill above the ``spill_bytes`` threshold,
+  served back via ``GET /v1/artifacts/{digest}``;
+* HMAC-signed completion webhooks with bounded retry/backoff, including
+  the exhausted-retries failure counter;
+* structured errors for every failure path: oversized bodies (413),
+  malformed submits (400), unknown sweeps/routes (404), method
+  mismatches (405), artifact-store write failures (500), cancelled
+  sweeps (409);
+* the subprocess end-to-end path: ``python -m repro serve`` + ``python
+  -m repro gateway`` + REST + SSE + artifact fetch + webhook + metrics.
+
+Every async scenario runs under ``asyncio.wait_for`` so a hung server
+fails the test quickly (the CI job adds an outer ``timeout`` on top).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import http.server
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro
+from repro import httpd, obs
+from repro.gateway import (
+    Gateway,
+    GatewayConfig,
+    LocalArtifactStore,
+    ArtifactStoreError,
+    digest_of,
+    encode_result,
+    match_route,
+    sign_payload,
+    verify_signature,
+    WebhookDeliverer,
+)
+from repro.gateway.routes import ROUTES, SSE_EVENTS, allowed_methods
+from repro.runtime import Job, SweepEngine, SweepSpec
+from repro.service import (
+    ServiceClient,
+    SweepService,
+    register_workload,
+    unregister_workload,
+)
+
+TIMEOUT = 30.0
+
+
+def run(coro):
+    """Run a coroutine with a hard timeout so nothing can hang the suite."""
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+# ----------------------------------------------------------------------
+# Toy workloads
+# ----------------------------------------------------------------------
+_GATE = threading.Event()
+
+
+def _toy_job(value: int) -> int:
+    return value * value
+
+
+def _toy_workload(params, engine):
+    count = int(params.get("n", 4))
+    jobs = [Job(fn=_toy_job, args=(i,), name=f"sq[{i}]") for i in range(count)]
+    return {"sum": sum(engine.run(SweepSpec("toy", jobs))), "n": count}
+
+
+def _big_workload(params, engine):
+    """A payload far over any small spill threshold."""
+    return {"blob": "x" * int(params.get("bytes", 4096))}
+
+
+def _gated_workload(params, engine):
+    if not _GATE.wait(timeout=TIMEOUT):
+        raise RuntimeError("test gate never opened")
+    return _toy_workload(params, engine)
+
+
+def _failing_workload(params, engine):
+    raise ValueError("deliberate workload failure")
+
+
+@pytest.fixture
+def toy_workloads():
+    _GATE.clear()
+    register_workload("toy", _toy_workload)
+    register_workload("toy-big", _big_workload)
+    register_workload("toy-gated", _gated_workload)
+    register_workload("toy-failing", _failing_workload)
+    try:
+        yield
+    finally:
+        _GATE.set()
+        for name in ("toy", "toy-big", "toy-gated", "toy-failing"):
+            unregister_workload(name)
+
+
+# ----------------------------------------------------------------------
+# In-process stack + HTTP helpers
+# ----------------------------------------------------------------------
+@contextlib.asynccontextmanager
+async def running_stack(tmp_path, **overrides):
+    """One in-process service + one gateway replica in front of it."""
+    service = SweepService(engine=SweepEngine(), host="127.0.0.1", port=0)
+    host, port = await service.start()
+    settings = dict(
+        service_host=host,
+        service_port=port,
+        artifact_root=str(tmp_path / "artifacts"),
+        spill_bytes=512,
+        webhook_backoff_seconds=0.01,
+        webhook_backoff_cap_seconds=0.05,
+        sse_keepalive_seconds=0.2,
+        watch_backoff_seconds=0.05,
+    )
+    settings.update(overrides)
+    store = settings.pop("store", None)
+    gateway = Gateway(GatewayConfig(**settings), store=store)
+    await gateway.start()
+    try:
+        yield service, gateway
+    finally:
+        await gateway.stop()
+        await service.stop()
+
+
+async def http_request(port, method, path, body=None, headers=()):
+    """One request against a local gateway; ``(status, headers, body)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = [f"{method} {path} HTTP/1.1", "Host: test"]
+    if body is not None:
+        head.append(f"Content-Length: {len(body)}")
+    for name, value in headers:
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + (body or b""))
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    response_headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    data = await reader.read()  # every gateway response is Connection: close
+    writer.close()
+    return status, response_headers, data
+
+
+async def submit_sweep(port, workload, params=None, **extra):
+    document = {"workload": workload, "params": params or {}}
+    document.update(extra)
+    status, _, body = await http_request(
+        port, "POST", "/v1/sweeps", body=json.dumps(document).encode()
+    )
+    assert status == 202, body
+    return json.loads(body)
+
+
+async def wait_terminal(port, sweep_id, deadline=TIMEOUT):
+    loop = asyncio.get_running_loop()
+    end = loop.time() + deadline
+    while True:
+        status, _, body = await http_request(port, "GET", f"/v1/sweeps/{sweep_id}")
+        assert status == 200
+        document = json.loads(body)
+        if document["state"] != "running":
+            return document
+        if loop.time() > end:
+            raise AssertionError(f"sweep {sweep_id} never finished: {document}")
+        await asyncio.sleep(0.02)
+
+
+async def open_sse(port, sweep_id, headers=()):
+    """Open the event stream; returns ``(reader, writer)`` past the head."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = [f"GET /v1/sweeps/{sweep_id}/events HTTP/1.1", "Host: test"]
+    for name, value in headers:
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+    await writer.drain()
+    status_line = await reader.readline()
+    assert b" 200 " in status_line, status_line
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        assert line, "connection closed inside SSE response head"
+    return reader, writer
+
+
+async def read_sse_frames(reader, until="done"):
+    """Collect ``(id, event, data)`` frames until the ``until`` event."""
+    frames = []
+    event_id = event = data = None
+    while True:
+        raw = await reader.readline()
+        if raw == b"":
+            return frames
+        line = raw.decode().rstrip("\r\n")
+        if line.startswith("id: "):
+            event_id = int(line[4:])
+        elif line.startswith("event: "):
+            event = line[7:]
+        elif line.startswith("data: "):
+            data = json.loads(line[6:])
+        elif line == "" and event is not None:
+            frames.append((event_id, event, data))
+            if event == until:
+                return frames
+            event_id = event = data = None
+
+
+# ----------------------------------------------------------------------
+# Shared HTTP plumbing (repro.httpd)
+# ----------------------------------------------------------------------
+class TestHttpd:
+    def _parse(self, wire, **kwargs):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(wire)
+            reader.feed_eof()
+            return await httpd.read_request(reader, **kwargs)
+
+        return run(scenario())
+
+    def test_parses_request_line_headers_and_body(self):
+        request = self._parse(
+            b"POST /v1/sweeps?x=1 HTTP/1.1\r\nHost: h\r\n"
+            b"Content-Length: 2\r\n\r\nhi"
+        )
+        assert (request.method, request.path, request.query) == (
+            "POST", "/v1/sweeps", "x=1",
+        )
+        assert request.headers["host"] == "h"
+        assert request.body == b"hi"
+
+    def test_clean_eof_returns_none(self):
+        assert self._parse(b"") is None
+
+    def test_oversized_body_is_413_before_reading(self):
+        with pytest.raises(httpd.HttpError) as info:
+            self._parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n",
+                max_body_bytes=10,
+            )
+        assert info.value.status == 413
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(httpd.HttpError) as info:
+            self._parse(b"what even\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_bad_json_body_raises_400(self):
+        request = httpd.HttpRequest("POST", "/", "", "HTTP/1.1", {}, b"{nope")
+        with pytest.raises(httpd.HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+    def test_error_body_is_structured(self):
+        document = json.loads(httpd.error_body(404, "gone", code="not-found"))
+        assert document == {"code": "not-found", "error": "gone", "status": 404}
+
+    def test_responses_close_the_connection(self):
+        assert b"Connection: close" in httpd.render_response(200, b"x")
+
+
+# ----------------------------------------------------------------------
+# Route table
+# ----------------------------------------------------------------------
+class TestRoutes:
+    def test_placeholders_resolve(self):
+        route, params = match_route("GET", "/v1/sweeps/sw-1/result")
+        assert route == "GET /v1/sweeps/{id}/result"
+        assert params == {"id": "sw-1"}
+
+    def test_unknown_path_and_method(self):
+        assert match_route("GET", "/v1/nope") is None
+        assert match_route("PUT", "/v1/sweeps") is None
+
+    def test_allowed_methods_for_405(self):
+        assert set(allowed_methods("/v1/sweeps/abc")) == {"GET", "DELETE"}
+
+    def test_vocabulary_shape(self):
+        assert len(ROUTES) == len(set(ROUTES))
+        assert set(SSE_EVENTS) == {"snapshot", "progress", "obs", "done"}
+
+
+# ----------------------------------------------------------------------
+# Artifact store
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_put_get_roundtrip_is_content_addressed(self, tmp_path):
+        store = LocalArtifactStore(str(tmp_path / "store"))
+        data = encode_result({"rows": list(range(50))})
+        digest = store.put(data)
+        assert digest == hashlib.sha256(data).hexdigest() == digest_of(data)
+        assert store.get(digest) == data
+        assert store.put(data) == digest  # idempotent
+
+    def test_missing_artifact_raises_keyerror(self, tmp_path):
+        store = LocalArtifactStore(str(tmp_path / "store"))
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+        with pytest.raises(KeyError):
+            store.get("not-a-digest")
+
+    def test_write_failure_surfaces_as_store_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store root should be")
+        store = LocalArtifactStore(str(blocker))
+        with pytest.raises(ArtifactStoreError):
+            store.put(b"payload")
+
+    def test_encoding_is_deterministic(self):
+        assert encode_result({"b": 1, "a": 2}) == encode_result({"a": 2, "b": 1})
+
+
+# ----------------------------------------------------------------------
+# Webhooks
+# ----------------------------------------------------------------------
+class _WebhookReceiver:
+    """In-loop asyncio receiver capturing deliveries; scriptable statuses."""
+
+    def __init__(self, statuses=(200,)):
+        self.statuses = list(statuses)
+        self.deliveries = []
+        self._server = None
+        self.port = 0
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        request = await httpd.read_request(reader)
+        if request is not None:
+            self.deliveries.append(request)
+        status = self.statuses.pop(0) if len(self.statuses) > 1 else self.statuses[0]
+        writer.write(httpd.json_response(status, {"ok": status < 300}))
+        await writer.drain()
+        writer.close()
+
+
+class TestWebhooks:
+    def test_sign_and_verify(self):
+        body = b'{"state": "completed"}'
+        signature = sign_payload(body, "secret")
+        assert verify_signature(body, "secret", signature)
+        assert not verify_signature(b'{"state": "failed"}', "secret", signature)
+        assert not verify_signature(body, "other-secret", signature)
+
+    def test_delivery_carries_valid_signature(self):
+        async def scenario():
+            async with _WebhookReceiver() as receiver:
+                deliverer = WebhookDeliverer("s3cret", attempts=2,
+                                             backoff_seconds=0.01)
+                body = encode_result({"state": "completed"})
+                assert await deliverer.deliver(
+                    f"http://127.0.0.1:{receiver.port}/hook", body
+                )
+                (request,) = receiver.deliveries
+                assert request.body == body
+                assert verify_signature(
+                    request.body, "s3cret", request.headers["x-repro-signature"]
+                )
+                assert request.headers["x-repro-delivery-attempt"] == "1"
+
+        run(scenario())
+
+    def test_retry_then_success_counts_attempts(self):
+        async def scenario():
+            async with _WebhookReceiver(statuses=[500, 200]) as receiver:
+                deliverer = WebhookDeliverer("k", attempts=3, backoff_seconds=0.01)
+                assert await deliverer.deliver(
+                    f"http://127.0.0.1:{receiver.port}/hook", b"{}"
+                )
+                attempts = [
+                    request.headers["x-repro-delivery-attempt"]
+                    for request in receiver.deliveries
+                ]
+                assert attempts == ["1", "2"]
+
+        run(scenario())
+
+    def test_down_endpoint_exhausts_retries_and_counts_failure(self):
+        deliveries = obs.counter(
+            "repro_gateway_webhook_deliveries_total", labels=("outcome",)
+        )
+        attempts_counter = obs.counter("repro_gateway_webhook_attempts_total")
+        exhausted_before = deliveries.value(outcome="exhausted")
+        attempts_before = attempts_counter.value()
+
+        async def scenario():
+            # Bind-then-close: the port is now reliably refused.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            deliverer = WebhookDeliverer("k", attempts=3, backoff_seconds=0.01)
+            assert not await deliverer.deliver(
+                f"http://127.0.0.1:{port}/hook", b"{}"
+            )
+
+        run(scenario())
+        assert deliveries.value(outcome="exhausted") == exhausted_before + 1
+        assert attempts_counter.value() == attempts_before + 3
+
+    def test_non_http_url_is_rejected_without_dialling(self):
+        async def scenario():
+            deliverer = WebhookDeliverer("k", attempts=3)
+            return await deliverer.deliver("ftp://example/hook", b"{}")
+
+        assert run(scenario()) is False
+
+
+# ----------------------------------------------------------------------
+# Gateway REST semantics (in-process)
+# ----------------------------------------------------------------------
+class TestGatewayRest:
+    def test_submit_status_result_inline_bit_identical(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path) as (service, gateway):
+                accepted = await submit_sweep(gateway.port, "toy", {"n": 5})
+                assert accepted["state"] == "running"
+                assert accepted["id"].startswith("sw-")
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "completed"
+                assert final["key"]
+                assert final["trace"]
+                status, headers, body = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                assert status == 200
+                # Bit-identical to a direct ServiceClient run of the same
+                # request (the service single-flights/caches nothing here:
+                # toy results are deterministic).
+                async with ServiceClient(*service.address) as client:
+                    direct = await client.submit("toy", {"n": 5})
+                assert body == encode_result(direct.payload)
+
+        run(scenario())
+
+    def test_result_while_running_is_202(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy-gated", {"n": 2})
+                status, _, body = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                assert status == 202
+                assert json.loads(body)["state"] == "running"
+                _GATE.set()
+                await wait_terminal(gateway.port, accepted["id"])
+
+        run(scenario())
+
+    def test_failed_workload_surfaces_structured_500(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy-failing")
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "failed"
+                status, _, body = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                document = json.loads(body)
+                assert status == 500
+                assert document["status"] == 500
+                assert "deliberate workload failure" in document["error"]
+
+        run(scenario())
+
+    def test_cancel_via_delete(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy-gated")
+                status, _, body = await http_request(
+                    gateway.port, "DELETE", f"/v1/sweeps/{accepted['id']}"
+                )
+                assert status == 202
+                assert json.loads(body)["state"] == "cancelling"
+                # The cancel op answers at once even though the workload
+                # thread is still parked on the gate — wait for the
+                # terminal state *before* opening it so the cancel cannot
+                # race a normal completion.
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "cancelled"
+                _GATE.set()  # let the worker thread drain
+                status, _, body = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                assert status == 409
+                assert json.loads(body)["code"] == "cancelled"
+                # A second DELETE conflicts: the sweep is already terminal.
+                status, _, _ = await http_request(
+                    gateway.port, "DELETE", f"/v1/sweeps/{accepted['id']}"
+                )
+                assert status == 409
+
+        run(scenario())
+
+    def test_error_paths_are_structured(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path, max_body_bytes=200) as (_, gateway):
+                port = gateway.port
+                # 413: oversized body refused before it is read.
+                status, _, body = await http_request(
+                    port, "POST", "/v1/sweeps", body=b"x" * 1000
+                )
+                assert status == 413
+                assert json.loads(body)["status"] == 413
+                # 400: not JSON / missing workload / wrong types.
+                status, _, _ = await http_request(
+                    port, "POST", "/v1/sweeps", body=b"{nope"
+                )
+                assert status == 400
+                status, _, body = await http_request(
+                    port, "POST", "/v1/sweeps", body=b'{"params": {}}'
+                )
+                assert status == 400
+                assert "workload" in json.loads(body)["error"]
+                # 404: unknown sweep, unknown artifact, unknown route.
+                for path in ("/v1/sweeps/sw-nope", "/v1/artifacts/" + "0" * 64,
+                             "/v1/nope"):
+                    status, _, _ = await http_request(port, "GET", path)
+                    assert status == 404, path
+                # 405: known path, wrong method, Allow header present.
+                status, headers, _ = await http_request(
+                    port, "PUT", "/v1/sweeps/sw-1"
+                )
+                assert status == 405
+                assert set(headers["allow"].split(", ")) == {"GET", "DELETE"}
+                # healthz for load balancers.
+                status, _, body = await http_request(port, "GET", "/healthz")
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+
+        run(scenario())
+
+    def test_unknown_workload_fails_the_sweep(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "no-such-workload")
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "failed"
+                assert final["error_code"] == "bad-request"
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Artifact spill (in-process)
+# ----------------------------------------------------------------------
+class TestArtifactSpill:
+    def test_large_result_spills_and_fetches_bit_identical(
+        self, tmp_path, toy_workloads
+    ):
+        async def scenario():
+            async with running_stack(tmp_path, spill_bytes=256) as (
+                service, gateway,
+            ):
+                accepted = await submit_sweep(
+                    gateway.port, "toy-big", {"bytes": 4096}
+                )
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "completed"
+                digest = final["artifact"]
+                assert re.fullmatch(r"[0-9a-f]{64}", digest)
+                # The result endpoint redirects to the artifact.
+                status, headers, _ = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                assert status == 307
+                assert headers["location"] == f"/v1/artifacts/{digest}"
+                # The artifact bytes are the canonical result encoding,
+                # bit-identical to a direct ServiceClient run.
+                status, headers, data = await http_request(
+                    gateway.port, "GET", headers["location"]
+                )
+                assert status == 200
+                assert headers["x-repro-digest"] == digest
+                assert hashlib.sha256(data).hexdigest() == digest
+                async with ServiceClient(*service.address) as client:
+                    direct = await client.submit("toy-big", {"bytes": 4096})
+                assert data == encode_result(direct.payload)
+
+        run(scenario())
+
+    def test_small_result_stays_inline(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path, spill_bytes=100_000) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy", {"n": 3})
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "completed"
+                assert "artifact" not in final
+
+        run(scenario())
+
+    def test_store_write_failure_is_a_structured_error(
+        self, tmp_path, toy_workloads
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store root should be")
+
+        async def scenario():
+            async with running_stack(
+                tmp_path, spill_bytes=16, artifact_root=str(blocker)
+            ) as (_, gateway):
+                accepted = await submit_sweep(
+                    gateway.port, "toy-big", {"bytes": 2048}
+                )
+                final = await wait_terminal(gateway.port, accepted["id"])
+                assert final["state"] == "failed"
+                assert final["error_code"] == "artifact-store"
+                status, _, body = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                document = json.loads(body)
+                assert status == 500
+                assert document["code"] == "artifact-store"
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# SSE streaming (in-process)
+# ----------------------------------------------------------------------
+class TestSse:
+    def test_progress_stream_has_monotonic_seq_and_terminal_done(
+        self, tmp_path, toy_workloads
+    ):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy-gated", {"n": 6})
+                reader, writer = await open_sse(gateway.port, accepted["id"])
+                _GATE.set()
+                frames = await read_sse_frames(reader)
+                writer.close()
+                ids = [frame[0] for frame in frames]
+                events = [frame[1] for frame in frames]
+                assert events[0] == "snapshot"
+                assert events[-1] == "done"
+                assert "progress" in events
+                assert ids == sorted(ids)
+                assert len(set(ids)) == len(ids), "seq must be strictly monotonic"
+                progress = [frame[2] for frame in frames if frame[1] == "progress"]
+                assert progress[-1]["done"] == progress[-1]["total"] == 6
+                done = frames[-1][2]
+                assert done["state"] == "completed"
+                # Bridged obs events preserve their bus seq in data.
+                bridged = [frame[2] for frame in frames if frame[1] == "obs"]
+                for first, second in zip(bridged, bridged[1:]):
+                    assert first["seq"] < second["seq"]
+
+        run(scenario())
+
+    def test_watch_bridge_delivers_obs_events(self, tmp_path, toy_workloads):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy-gated", {"n": 4})
+                # Wait for the accept to land so the trace is indexed and
+                # the watch bridge can attribute events to this sweep.
+                while not gateway._by_trace:
+                    await asyncio.sleep(0.01)
+                reader, writer = await open_sse(gateway.port, accepted["id"])
+                _GATE.set()
+                frames = await read_sse_frames(reader)
+                writer.close()
+                bridged = [frame[2] for frame in frames if frame[1] == "obs"]
+                assert bridged, "watch bridge delivered no obs events"
+                trace = frames[-1][2]["trace"]
+                assert all(event.get("trace") == trace for event in bridged)
+                assert {event["type"] for event in bridged} <= set(obs.EVENT_TYPES)
+
+        run(scenario())
+
+    def test_late_subscriber_gets_snapshot_then_replay_cursor_works(
+        self, tmp_path, toy_workloads
+    ):
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy", {"n": 4})
+                await wait_terminal(gateway.port, accepted["id"])
+                # Fresh subscriber on a finished sweep: one snapshot frame
+                # carrying the terminal state, then end-of-stream.
+                reader, writer = await open_sse(gateway.port, accepted["id"])
+                frames = await read_sse_frames(reader, until="snapshot")
+                writer.close()
+                assert frames[-1][1] == "snapshot"
+                assert frames[-1][2]["state"] == "completed"
+                # Reconnect with Last-Event-ID: 0 replays the full history
+                # (progress and the terminal done) in seq order.
+                reader, writer = await open_sse(
+                    gateway.port, accepted["id"],
+                    headers=(("Last-Event-ID", "0"),),
+                )
+                replay = await read_sse_frames(reader)
+                writer.close()
+                assert replay[-1][1] == "done"
+                ids = [frame[0] for frame in replay]
+                assert ids == sorted(ids) and len(set(ids)) == len(ids)
+                assert any(frame[1] == "progress" for frame in replay)
+
+        run(scenario())
+
+    def test_client_disconnect_mid_stream_cancels_cleanly(
+        self, tmp_path, toy_workloads
+    ):
+        streams = obs.counter(
+            "repro_gateway_sse_streams_total", labels=("outcome",)
+        )
+        disconnected_before = streams.value(outcome="disconnected")
+
+        async def scenario():
+            async with running_stack(tmp_path) as (_, gateway):
+                accepted = await submit_sweep(gateway.port, "toy-gated")
+                reader, writer = await open_sse(gateway.port, accepted["id"])
+                record = gateway._sweeps[accepted["id"]]
+                while not record.subscribers:
+                    await asyncio.sleep(0.01)
+                writer.close()  # hang up mid-stream
+                deadline = asyncio.get_running_loop().time() + TIMEOUT
+                while record.subscribers:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                _GATE.set()
+                await wait_terminal(gateway.port, accepted["id"])
+
+        run(scenario())
+        streams_after = streams.value(outcome="disconnected")
+        assert streams_after == disconnected_before + 1
+
+
+# ----------------------------------------------------------------------
+# Completion webhooks through the gateway (in-process)
+# ----------------------------------------------------------------------
+class TestGatewayWebhooks:
+    def test_completion_webhook_is_signed_and_delivered(
+        self, tmp_path, toy_workloads
+    ):
+        async def scenario():
+            async with _WebhookReceiver() as receiver:
+                async with running_stack(
+                    tmp_path, webhook_secret="hook-secret"
+                ) as (_, gateway):
+                    accepted = await submit_sweep(
+                        gateway.port, "toy", {"n": 3},
+                        webhook_url=f"http://127.0.0.1:{receiver.port}/done",
+                    )
+                    final = await wait_terminal(gateway.port, accepted["id"])
+                    assert final["state"] == "completed"
+                    record = gateway._sweeps[accepted["id"]]
+                    deadline = asyncio.get_running_loop().time() + TIMEOUT
+                    while record.webhook_delivered is None:
+                        assert asyncio.get_running_loop().time() < deadline
+                        await asyncio.sleep(0.02)
+                    assert record.webhook_delivered is True
+                    (request,) = receiver.deliveries
+                    document = json.loads(request.body)
+                    assert document["id"] == accepted["id"]
+                    assert document["state"] == "completed"
+                    assert verify_signature(
+                        request.body, "hook-secret",
+                        request.headers["x-repro-signature"],
+                    )
+
+        run(scenario())
+
+    def test_webhook_down_exhausts_retries(self, tmp_path, toy_workloads):
+        deliveries = obs.counter(
+            "repro_gateway_webhook_deliveries_total", labels=("outcome",)
+        )
+        exhausted_before = deliveries.value(outcome="exhausted")
+
+        async def scenario():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            async with running_stack(tmp_path, webhook_attempts=2) as (_, gateway):
+                accepted = await submit_sweep(
+                    gateway.port, "toy",
+                    webhook_url=f"http://127.0.0.1:{port}/gone",
+                )
+                record = gateway._sweeps[accepted["id"]]
+                await wait_terminal(gateway.port, accepted["id"])
+                deadline = asyncio.get_running_loop().time() + TIMEOUT
+                while record.webhook_delivered is None:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                assert record.webhook_delivered is False
+
+        run(scenario())
+        assert deliveries.value(outcome="exhausted") == exhausted_before + 1
+
+
+# ----------------------------------------------------------------------
+# The eventsim servable workload through the gateway (in-process)
+# ----------------------------------------------------------------------
+class TestEventsimWorkload:
+    def test_eventsim_end_to_end_matches_direct_client(self, tmp_path):
+        async def scenario():
+            async with running_stack(tmp_path) as (service, gateway):
+                accepted = await submit_sweep(
+                    gateway.port, "eventsim",
+                    {"fast": True, "pairs": [[1, 2], [3, 4], [15, 15]],
+                     "shards": 2},
+                )
+                final = await wait_terminal(gateway.port, accepted["id"], TIMEOUT * 4)
+                assert final["state"] == "completed"
+                status, _, body = await http_request(
+                    gateway.port, "GET", f"/v1/sweeps/{accepted['id']}/result"
+                )
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["command"] == "eventsim"
+                assert payload["matches_model"] is True
+                assert payload["pairs"] == 3
+                assert [r["expected"] for r in payload["results"]] == [2, 12, 225]
+                async with ServiceClient(*service.address) as client:
+                    direct = await client.submit(
+                        "eventsim",
+                        {"fast": True, "pairs": [[1, 2], [3, 4], [15, 15]],
+                         "shards": 2},
+                    )
+                assert body == encode_result(direct.payload)
+
+        asyncio.run(asyncio.wait_for(scenario(), TIMEOUT * 8))
+
+
+# ----------------------------------------------------------------------
+# Subprocess end-to-end: serve + gateway + REST/SSE/artifact/webhook
+# ----------------------------------------------------------------------
+class _ThreadedWebhookSink(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+
+
+class TestSubprocessEndToEnd:
+    def _spawn(self, argv, env):
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+
+    def test_rest_sse_artifact_webhook_end_to_end(self, tmp_path):
+        """The acceptance criterion, driven over real sockets: REST submit
+        -> ordered SSE -> spilled artifact download -> signed webhook,
+        with the downloaded bytes bit-identical to a direct ServiceClient
+        run and repro_gateway_* metrics on the Prometheus endpoint."""
+        import urllib.request
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+
+        received = []
+
+        class Hook(http.server.BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers["Content-Length"])
+                received.append(
+                    (self.rfile.read(length),
+                     self.headers["X-Repro-Signature"])
+                )
+                self.send_response(200)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        sink = _ThreadedWebhookSink(("127.0.0.1", 0), Hook)
+        sink_thread = threading.Thread(target=sink.serve_forever, daemon=True)
+        sink_thread.start()
+
+        serve = self._spawn(
+            ["serve", "--port", "0", "--cache-dir", str(tmp_path / "cache")],
+            env,
+        )
+        gateway = None
+        try:
+            banner = serve.stdout.readline()
+            service_port = re.search(r":(\d+) ", banner).group(1)
+            gateway = self._spawn(
+                [
+                    "gateway", "--service", f"127.0.0.1:{service_port}",
+                    "--port", "0",
+                    "--artifact-root", str(tmp_path / "store"),
+                    "--spill-bytes", "64",
+                    "--webhook-secret", "e2e-secret",
+                    "--metrics-port", "0",
+                ],
+                env,
+            )
+            gateway_banner = gateway.stdout.readline()
+            gateway_port = int(re.search(r":(\d+) ", gateway_banner).group(1))
+            metrics_banner = gateway.stdout.readline()
+            metrics_port = int(re.search(r":(\d+)/metrics", metrics_banner).group(1))
+            base = f"http://127.0.0.1:{gateway_port}"
+
+            # REST submit with a completion webhook registered.
+            body = json.dumps({
+                "workload": "characterize",
+                "params": {"fast": True},
+                "webhook_url":
+                    f"http://127.0.0.1:{sink.server_address[1]}/hook",
+            }).encode()
+            request = urllib.request.Request(
+                f"{base}/v1/sweeps", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            accepted = json.load(urllib.request.urlopen(request, timeout=TIMEOUT))
+            sweep_id = accepted["id"]
+
+            # SSE stream until the terminal frame; ids strictly monotonic.
+            stream = urllib.request.urlopen(
+                f"{base}/v1/sweeps/{sweep_id}/events", timeout=TIMEOUT * 4
+            )
+            ids, events, terminal = [], [], None
+            event_id = event_name = data = None
+            while True:
+                line = stream.readline().decode().rstrip("\r\n")
+                if line.startswith("id: "):
+                    event_id = int(line[4:])
+                elif line.startswith("event: "):
+                    event_name = line[7:]
+                elif line.startswith("data: "):
+                    data = json.loads(line[6:])
+                elif line == "" and event_name is not None:
+                    ids.append(event_id)
+                    events.append(event_name)
+                    if event_name == "done":
+                        terminal = data
+                        break
+                    event_id = event_name = data = None
+            stream.close()
+            assert ids == sorted(ids) and len(set(ids)) == len(ids)
+            assert "progress" in events
+            assert terminal["state"] == "completed"
+
+            # The fast characterisation payload is far over 64 bytes, so
+            # the result redirected to a content-addressed artifact.
+            digest = terminal["artifact"]
+            result = urllib.request.urlopen(
+                f"{base}/v1/sweeps/{sweep_id}/result", timeout=TIMEOUT
+            )
+            downloaded = result.read()
+            assert result.url.endswith(f"/v1/artifacts/{digest}")
+            assert hashlib.sha256(downloaded).hexdigest() == digest
+
+            # Bit-identical to the direct NDJSON-TCP client.
+            from repro.service import run_sweep
+
+            direct = run_sweep(
+                "127.0.0.1", int(service_port), "characterize",
+                {"fast": True}, timeout=TIMEOUT * 4, connect_timeout=TIMEOUT,
+            )
+            assert downloaded == encode_result(direct.payload)
+
+            # Signed webhook arrived.
+            for _ in range(int(TIMEOUT / 0.1)):
+                if received:
+                    break
+                threading.Event().wait(0.1)
+            assert received, "webhook never arrived"
+            hook_body, signature = received[0]
+            assert verify_signature(hook_body, "e2e-secret", signature)
+            assert json.loads(hook_body)["id"] == sweep_id
+
+            # Gateway metrics on the Prometheus endpoint.
+            exposition = urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/metrics", timeout=TIMEOUT
+            ).read().decode()
+            for name in (
+                "repro_gateway_requests_total",
+                "repro_gateway_sweeps_total",
+                "repro_gateway_sse_frames_total",
+                "repro_gateway_artifact_spills_total",
+                "repro_gateway_webhook_deliveries_total",
+            ):
+                assert name in exposition, name
+        finally:
+            if gateway is not None:
+                gateway.terminate()
+                gateway.wait(timeout=15)
+            serve.terminate()
+            serve.wait(timeout=15)
+            sink.shutdown()
+            sink.server_close()

@@ -550,6 +550,54 @@ class TestProtocolFrames:
             cluster_protocol.COORDINATOR_EVENTS
         )
 
+    def test_gateway_vocabulary_is_harvested_from_routes_module(self):
+        from repro import gateway
+
+        vocabulary = load_protocol_vocabulary()
+        assert vocabulary["gateway"]["event"] == set(gateway.SSE_EVENTS)
+        assert vocabulary["gateway"]["route"] == set(gateway.ROUTES)
+        assert vocabulary["any"]["route"] == set(gateway.ROUTES)
+        assert set(gateway.SSE_EVENTS) <= vocabulary["any"]["event"]
+
+    def test_unknown_route_shaped_literal_fires_anywhere(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def link():
+                return "GET /v1/sweeps/{id}/resutl"   # typo'd route
+            """,
+        )
+        assert rules_of(result) == ["REPRO-PROTO01"]
+        assert "route table" in result.findings[0].message
+
+    def test_declared_routes_and_raw_request_lines_are_quiet(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            def requests():
+                table = ("POST /v1/sweeps", "GET /healthz")
+                raw = "GET /metrics HTTP/1.0"   # request line, not a route
+                return table, raw
+            """,
+        )
+        assert result.findings == []
+
+    def test_gateway_files_use_the_sse_vocabulary(self, tmp_path):
+        # "accepted" is a service event; inside the gateway package the
+        # event vocabulary is the SSE stream's.
+        result = lint_source(
+            tmp_path,
+            """
+            def frame(event):
+                if event == "accepted":
+                    return 1
+                return event in ("snapshot", "progress", "obs", "done")
+            """,
+            subdir="gateway",
+        )
+        assert rules_of(result) == ["REPRO-PROTO01"]
+        assert '"accepted"' in result.findings[0].message
+
 
 # ----------------------------------------------------------------------
 # Suppressions
@@ -774,10 +822,10 @@ class TestShippedTree:
         right rule id."""
         flips = {
             "REPRO-ASYNC01": (
-                SRC / "repro/obs/http.py",
-                "            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)",
-                "            import time; time.sleep(0.5)\n"
-                "            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)",
+                SRC / "repro/httpd.py",
+                "    request_line = await asyncio.wait_for(reader.readline(), timeout=timeout)",
+                "    import time; time.sleep(0.5)\n"
+                "    request_line = await asyncio.wait_for(reader.readline(), timeout=timeout)",
             ),
             "REPRO-DET01": (
                 SRC / "repro/circuits/mismatch.py",
