@@ -1,0 +1,257 @@
+"""Priority-scheduler benchmark: interactive latency under batch load.
+
+The measurement behind the multi-tenant scheduler's design claim
+(``docs/scheduling.md``): on a pool fully saturated by long batch chunks,
+**FIFO makes short interactive requests wait for chunk completions** —
+their latency is set by the batch chunk length — while priority tagging
+plus preemption revokes a batch chunk's unstarted tail and serves the
+urgent request in roughly one job time.  Preemption must cut the
+interactive p50 latency by at least 2x.  Both regimes must reproduce the
+serial results bit-for-bit — preempted-and-resumed batch sweeps lose no
+work.
+
+The pool is two local workers (one slot each).  The batch sweep rides
+multi-second chunks that occupy both slots; interactive requests (two
+tiny jobs each — single-job sweeps run inline and would never reach the
+coordinator) arrive at fixed wall-clock offsets while the batch grinds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_priority_scheduling.py           # full
+    PYTHONPATH=src python benchmarks/bench_priority_scheduling.py --smoke   # CI
+
+``--smoke`` shrinks the load and skips the speedup assertion (CI
+containers may lack the cores for the pool to behave like a pool);
+completion and bit-identity are always asserted.  The speedup assertion
+is additionally gated on >= 4 cores, matching the other cluster
+benchmarks.
+
+Results are printed and written to
+``benchmarks/results/priority_scheduling.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster import DistributedExecutor
+from repro.runtime import Job, SerialExecutor
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+_BATCH_ENTROPY = 20260808
+_INTERACTIVE_ENTROPY = 20260809
+_START_TIMEOUT = 120.0
+
+
+def _timed_value(entropy: int, index: int, seconds: float) -> float:
+    """One benchmark job: deterministic value, tunable wall time."""
+    time.sleep(seconds)
+    child = np.random.SeedSequence(entropy).spawn(index + 1)[index]
+    return float(np.random.default_rng(child).standard_normal())
+
+
+def _jobs(entropy: int, count: int, seconds: float, tag: str) -> List[Job]:
+    return [
+        Job(fn=_timed_value, args=(entropy, index, seconds), name=f"{tag}[{index}]")
+        for index in range(count)
+    ]
+
+
+def _run_regime(
+    preemptive: bool,
+    batch_count: int,
+    batch_job_seconds: float,
+    requests: int,
+    request_offset: float,
+    request_gap: float,
+) -> Tuple[List[float], List[List[float]], List[float], Dict[str, Any]]:
+    """One regime on a fresh 2-worker pool.
+
+    Returns ``(batch_results, interactive_results, latencies, sched_stats)``.
+    The FIFO regime leaves everything untagged (batch/priority-0, the
+    default — exactly the pre-scheduler behaviour); the preemptive regime
+    tags the urgent requests ``interactive``.
+    """
+    executor = DistributedExecutor(
+        workers=2,
+        chunksize=max(1, batch_count // 2),  # multi-second chunks: 1 per worker
+        heartbeat_interval=0.05,
+        heartbeat_timeout=5.0,
+        start_timeout=_START_TIMEOUT,
+    )
+    executor.start()
+    try:
+        if executor._fallback is not None:
+            raise RuntimeError("cluster cannot start in this environment")
+        executor.wait_for_workers(2, timeout=_START_TIMEOUT)
+        batch_outcome: Dict[str, Any] = {}
+        interactive_results: List[Optional[List[float]]] = [None] * requests
+        latencies: List[Optional[float]] = [None] * requests
+        start_gate = threading.Event()
+
+        def run_batch() -> None:
+            try:
+                start_gate.set()
+                batch_outcome["results"] = executor.execute(
+                    _jobs(_BATCH_ENTROPY, batch_count, batch_job_seconds, "batch")
+                )
+            except BaseException as error:  # re-raised on join
+                batch_outcome["error"] = error
+
+        def run_interactive(slot: int) -> None:
+            time.sleep(request_offset + slot * request_gap)
+            begin = time.perf_counter()
+            interactive_results[slot] = executor.execute(
+                _jobs(_INTERACTIVE_ENTROPY + slot, 2, 0.005, f"urgent{slot}"),
+                sched={"class": "interactive"} if preemptive else None,
+            )
+            latencies[slot] = time.perf_counter() - begin
+
+        batch_thread = threading.Thread(target=run_batch)
+        batch_thread.start()
+        start_gate.wait()
+        interactive_threads = [
+            threading.Thread(target=run_interactive, args=(slot,))
+            for slot in range(requests)
+        ]
+        for thread in interactive_threads:
+            thread.start()
+        for thread in interactive_threads:
+            thread.join()
+        batch_thread.join()
+        if "error" in batch_outcome:
+            raise batch_outcome["error"]
+        sched_stats = executor.status()["sched"]["stats"]
+    finally:
+        executor.close()
+    assert all(result is not None for result in interactive_results)
+    assert all(latency is not None for latency in latencies)
+    return batch_outcome["results"], interactive_results, latencies, sched_stats
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    """FIFO vs priority+preemption under saturating batch load."""
+    cores = os.cpu_count() or 1
+    batch_count = 40 if smoke else 160
+    batch_job_seconds = 0.02 if smoke else 0.05
+    requests = 3 if smoke else 5
+    request_offset = 0.15 if smoke else 0.5
+    request_gap = 0.1 if smoke else 0.4
+
+    batch_reference = SerialExecutor().execute(
+        _jobs(_BATCH_ENTROPY, batch_count, 0.0, "batch")
+    )
+    interactive_references = [
+        SerialExecutor().execute(
+            _jobs(_INTERACTIVE_ENTROPY + slot, 2, 0.0, f"urgent{slot}")
+        )
+        for slot in range(requests)
+    ]
+
+    regimes: Dict[str, Dict[str, Any]] = {}
+    for name, preemptive in (("fifo", False), ("preemptive", True)):
+        batch_results, interactive_results, latencies, sched_stats = _run_regime(
+            preemptive,
+            batch_count,
+            batch_job_seconds,
+            requests,
+            request_offset,
+            request_gap,
+        )
+        assert batch_results == batch_reference, f"{name} batch diverged from serial"
+        for slot, result in enumerate(interactive_results):
+            assert result == interactive_references[slot], (
+                f"{name} interactive request {slot} diverged from serial"
+            )
+        regimes[name] = {
+            "latencies_seconds": latencies,
+            "p50_seconds": statistics.median(latencies),
+            "max_seconds": max(latencies),
+            "sched_stats": sched_stats,
+        }
+
+    fifo_p50 = regimes["fifo"]["p50_seconds"]
+    preemptive_p50 = regimes["preemptive"]["p50_seconds"]
+    speedup = fifo_p50 / max(preemptive_p50, 1e-9)
+    record = {
+        "cores": cores,
+        "smoke": smoke,
+        "batch_count": batch_count,
+        "batch_job_seconds": batch_job_seconds,
+        "requests": requests,
+        "pool": "2 workers x 1 slot",
+        "fifo": regimes["fifo"],
+        "preemptive": regimes["preemptive"],
+        "p50_speedup_fifo_to_preemptive": speedup,
+    }
+
+    lines = [
+        "priority scheduling: interactive p50 under saturating batch load "
+        f"({batch_count} batch jobs x {batch_job_seconds * 1e3:.0f} ms, "
+        f"{requests} urgent requests)",
+        f"  cores={cores}  pool={record['pool']}",
+        f"  FIFO        p50: {fifo_p50:.3f} s  "
+        f"(max {regimes['fifo']['max_seconds']:.3f} s)",
+        f"  preemptive  p50: {preemptive_p50:.3f} s  "
+        f"(max {regimes['preemptive']['max_seconds']:.3f} s, "
+        f"{regimes['preemptive']['sched_stats']['preemptions']} preemptions, "
+        f"{regimes['preemptive']['sched_stats']['resumes']} resumes)",
+        f"  p50 speedup    : {speedup:.2f}x (bit-identical results)",
+    ]
+    print("\n" + "\n".join(lines))
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "priority_scheduling.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    if cores >= 4 and not smoke:
+        assert regimes["preemptive"]["sched_stats"]["preemptions"] >= 1, (
+            "the preemptive regime never preempted — the pool was not saturated"
+        )
+        assert speedup >= 2.0, (
+            f"preemption must cut interactive p50 by >=2x under batch load "
+            f"({cores} cores), got {speedup:.2f}x"
+        )
+    return record
+
+
+def test_preemption_cuts_interactive_latency():
+    """Pytest entry point: full measurement on >=4 cores, smoke otherwise."""
+    run_benchmark(smoke=(os.cpu_count() or 1) < 4)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Interactive p50 under batch load: FIFO vs priority+preemption"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced load; skip the speedup assertion (CI containers)",
+    )
+    args = parser.parse_args(argv)
+    run_benchmark(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    # Re-enter through the importable module name: job functions must not
+    # live in ``__main__`` or the worker processes could not unpickle them.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import bench_priority_scheduling as _module
+
+    if _module.__name__ == "__main__":  # pragma: no cover - defensive
+        raise SystemExit("re-import failed; run via pytest instead")
+    sys.exit(_module.main(sys.argv[1:]))

@@ -29,6 +29,15 @@ sweeps; the full design rationale lives in ``docs/scheduling.md``):
   (``split_ack``), and the coordinator reassigns the unstarted tail to the
   idle workers.  The straggler's eventual ``chunk_done`` is a
   partial-completion ack covering only the kept prefix;
+* every run carries a :class:`repro.sched.SchedPolicy` (job class +
+  integer priority, larger wins): backlogs are priority queues, dispatch
+  is globally highest-priority-first, and when a higher-priority sweep
+  arrives while every slot is busy the coordinator **preempts** — the
+  lowest-priority in-flight chunks receive the same ``split``/``keep=0``
+  frame as a straggler, their unstarted tails are requeued (``preempted``
+  event), and the paused run is ``resumed`` once its spans dispatch
+  again.  Preempted partial completions are telemetry-exempt, so a
+  healthy worker is never mistaken for a straggler;
 * a worker that dies — its connection drops or its heartbeat goes silent —
   has its queued *and* in-flight work reassigned to the survivors, with a
   bounded retry count so a chunk that kills every worker cannot loop
@@ -57,13 +66,13 @@ import asyncio
 import dataclasses
 import itertools
 import time
-from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs, wire
 from repro.cluster import protocol
 from repro.runtime.executors import CancelEvent, ProgressCallback, SweepCancelled
 from repro.runtime.jobs import Job, code_version
+from repro.sched import JOB_CLASSES, PriorityQueue, SchedPolicy
 from repro.telemetry import TelemetryBook, WorkerStats
 
 #: Age multiplier before an in-flight chunk is split: a chunk sized to the
@@ -89,6 +98,16 @@ _STAT_HELP = {
     "workers_lost": "Workers declared dead.",
     "duplicate_results": "Duplicate chunk results discarded.",
     "scheduler_errors": "Scheduler/reaper iterations that raised.",
+}
+
+#: Help strings of the multi-tenant scheduler counters (:mod:`repro.sched`);
+#: each backs a registry metric ``repro_sched_<key>_total`` *and* the
+#: ``sched`` section of the ``status`` document.
+_SCHED_STAT_HELP = {
+    "preempt_requests": "Preemption requests (split keep=0) sent to workers.",
+    "preemptions": "Granted preemptions: unstarted tails revoked and requeued.",
+    "resumes": "Preempted runs whose spans were dispatched again.",
+    "jobs_requeued": "Jobs handed back to the queues by preemption.",
 }
 
 _WORKERS_ALIVE = obs.gauge(
@@ -143,6 +162,7 @@ class _Run:
         progress: Optional[ProgressCallback],
         chunksize: int,
         trace: Optional[str] = None,
+        policy: Optional[SchedPolicy] = None,
     ):
         self.id = f"run-{next(self._ids)}"
         self.jobs: List[Job] = list(jobs)
@@ -151,6 +171,13 @@ class _Run:
         #: Observability id of the originating request; stamped on every
         #: chunk frame and event this run produces (``None`` = untraced).
         self.trace = trace
+        #: Scheduling class + priority (:mod:`repro.sched`); the batch
+        #: default keeps untagged runs exactly where FIFO put them.
+        self.policy = policy if policy is not None else SchedPolicy()
+        #: ``True`` between a granted preemption and the next dispatch of
+        #: this run's work — the coordinator emits ``resumed`` (and counts
+        #: the resume) when a paused run's chunk goes out again.
+        self.paused = False
         self.results: List[Any] = [None] * self.total
         self.remaining = self.total
         self.progress = progress
@@ -205,6 +232,11 @@ class _Span:
         return self.stop - self.start
 
 
+def _span_priority(span: _Span) -> int:
+    """Priority key the span queues order by (the owning run's policy)."""
+    return span.run.policy.priority
+
+
 class _Chunk:
     """A dispatched slice of one run's jobs, in flight on one worker."""
 
@@ -216,6 +248,7 @@ class _Chunk:
         "attempts",
         "dispatched_at",
         "split_requested",
+        "preempt_requested",
         "busy_marker",
     )
 
@@ -227,6 +260,10 @@ class _Chunk:
         self.attempts = attempts
         self.dispatched_at = 0.0
         self.split_requested = False
+        # A preemption is a split with different bookkeeping: the flag
+        # routes the eventual split_ack to the sched counters and keeps
+        # the partial chunk_done out of the straggler telemetry.
+        self.preempt_requested = False
         # Busy-integral marker taken at dispatch; the settle-time delta
         # over wall time is this chunk's mean worker occupancy (how many
         # chunks ran concurrently), which de-biases EWMA throughput on
@@ -267,7 +304,7 @@ class _WorkerLink:
         self.alive = True
         self.connected_at = time.time()
         self.last_seen = time.time()
-        self.queue: Deque[_Span] = deque()
+        self.queue: PriorityQueue = PriorityQueue(key=_span_priority)
         self.inflight: Dict[str, _Chunk] = {}
         self.chunks_done = 0
         self.jobs_done = 0
@@ -376,7 +413,7 @@ class Coordinator:
         self.chunk_window = chunk_window
         self.telemetry = TelemetryBook()
         self._links: Dict[str, _WorkerLink] = {}
-        self._orphans: Deque[_Span] = deque()
+        self._orphans: PriorityQueue = PriorityQueue(key=_span_priority)
         self._orphaned_since: Optional[float] = None
         self._runs: Dict[str, _Run] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -395,6 +432,15 @@ class Coordinator:
             {
                 key: obs.counter(f"repro_cluster_{key}_total", help_text)
                 for key, help_text in _STAT_HELP.items()
+            }
+        )
+        # Preemption counters live in their own group so the ``status``
+        # document (and docs/scheduling.md) can present the multi-tenant
+        # scheduler as one coherent section.
+        self.sched_stats = obs.CounterGroup(
+            {
+                key: obs.counter(f"repro_sched_{key}_total", help_text)
+                for key, help_text in _SCHED_STAT_HELP.items()
             }
         )
 
@@ -468,6 +514,7 @@ class Coordinator:
         progress: Optional[ProgressCallback] = None,
         cancel_event: Optional[CancelEvent] = None,
         trace: Optional[str] = None,
+        sched: Optional[Any] = None,
     ) -> List[Any]:
         """Execute ``jobs`` across the cluster; results in submission order.
 
@@ -490,11 +537,19 @@ class Coordinator:
         every chunk frame of this run (protocol v3, optional field) and is
         echoed back on ``chunk_done``, so metrics and ``watch`` events stay
         attributable end to end.
+
+        ``sched`` is anything :meth:`repro.sched.SchedPolicy.parse`
+        accepts (``None`` = the batch default).  A run with a higher
+        priority than queued or in-flight work dispatches first and may
+        preempt: busy workers are asked to hand back the unstarted tails
+        of their lower-priority chunks (``split`` with ``keep=0``), which
+        requeue behind the urgent work and resume afterwards —
+        bit-identity is untouched because results merge by job index.
         """
         jobs = list(jobs)
         if not jobs:
             return []
-        run = _Run(jobs, progress, chunksize, trace=trace)
+        run = _Run(jobs, progress, chunksize, trace=trace, policy=SchedPolicy.parse(sched))
         self._runs[run.id] = run
         self.stats.inc("runs")
         self._distribute(self._initial_spans(run))
@@ -596,9 +651,34 @@ class Coordinator:
             target = min(links, key=_WorkerLink.load)
             target.queue.append(span)
 
+    def _waiting_priority(self) -> Optional[int]:
+        """Highest priority queued anywhere (orphan pool + every backlog)."""
+        priorities = [self._orphans.highest_priority()]
+        priorities.extend(link.queue.highest_priority() for link in self._alive_links())
+        present = [p for p in priorities if p is not None]
+        return max(present, default=None)
+
     def _steal_for(self, thief: _WorkerLink) -> Optional[_Span]:
-        """Steal half the longest backlog (by jobs) for an idle worker."""
-        if self._orphans:
+        """Steal waiting work for an idle-slot worker, most urgent first.
+
+        The orphan pool wins when nothing queued on a peer outranks it.
+        Otherwise the victim is the most-loaded peer whose backlog holds
+        the highest waiting priority, and the thief takes half that
+        priority bucket's jobs off its tail: with every span at one
+        priority this is exactly the classic half-backlog steal (the
+        victim keeps the jobs it would reach next), and with mixed
+        priorities the thief walks away with the *urgent* half — theft
+        can never dispatch low-priority work past a queued high-priority
+        span.
+        """
+        candidates = [
+            link for link in self._alive_links() if link is not thief and link.queue
+        ]
+        peer_top = max(
+            (link.queue.highest_priority() for link in candidates), default=None
+        )
+        orphan_top = self._orphans.highest_priority()
+        if orphan_top is not None and (peer_top is None or orphan_top >= peer_top):
             span = self._orphans.popleft()
             if not self._orphans:
                 # Only a fully drained pool disarms the abandonment clock:
@@ -607,22 +687,25 @@ class Coordinator:
                 # worker_wait_timeout.
                 self._orphaned_since = None
             return span
-        victim = max(
-            (link for link in self._alive_links() if link is not thief and link.queue),
-            key=_WorkerLink.queued_jobs,
-            default=None,
-        )
-        if victim is None:
+        if peer_top is None:
             return None
-        # Move the *tail* half of the victim's backlog: the victim keeps
-        # the jobs it would reach next, the thief takes the far end.  Spans
-        # split at job granularity, so the half is exact even when the
-        # backlog is one big span.
-        target = max(1, victim.queued_jobs() // 2)
+        victim = max(
+            (link for link in candidates if link.queue.highest_priority() == peer_top),
+            key=_WorkerLink.queued_jobs,
+        )
+        # Spans split at job granularity, so the half is exact even when
+        # the bucket is one big span.
+        bucket_jobs = sum(
+            len(span) for span in victim.queue if _span_priority(span) == peer_top
+        )
+        target = max(1, bucket_jobs // 2)
         taken: List[_Span] = []
         got = 0
-        while victim.queue and got < target:
-            span = victim.queue.pop()
+        while got < target:
+            try:
+                span = victim.queue.pop_tail(peer_top)
+            except IndexError:
+                break
             need = target - got
             if len(span) > need:
                 tail = _Span(span.run, span.stop - need, span.stop, span.attempts)
@@ -691,10 +774,21 @@ class Coordinator:
 
     def _next_chunk(self, link: _WorkerLink) -> Optional[_Chunk]:
         while True:
-            if link.queue:
+            top = self._waiting_priority()
+            if top is None:
+                return None
+            if link.queue.highest_priority() == top:
+                # The own backlog holds (one of) the globally most urgent
+                # spans: locality wins, exactly the pre-sched behaviour.
                 span = link.queue.popleft()
             else:
+                # Own backlog empty or outranked: bring the most urgent
+                # waiting work here instead (orphans, then priority-aware
+                # steal), falling back to the outranked backlog only when
+                # the urgent spans raced away to other workers.
                 span = self._steal_for(link)
+                if span is None and link.queue:
+                    span = link.queue.popleft()
             if span is None:
                 return None
             if span.run.done or not len(span):
@@ -763,6 +857,18 @@ class Coordinator:
                 chunk=chunk.id,
                 jobs=len(chunk),
             )
+            if chunk.run.paused:
+                # First dispatch after a granted preemption: the paused
+                # run is back on a worker.
+                chunk.run.paused = False
+                self.sched_stats.inc("resumes")
+                obs.EVENTS.emit(
+                    "resumed",
+                    trace=chunk.run.trace,
+                    worker=link.id,
+                    chunk=chunk.id,
+                    jobs=len(chunk),
+                )
             if not await link.send_bytes(frame):
                 self._on_worker_death(link)
                 return
@@ -774,6 +880,7 @@ class Coordinator:
             try:
                 for link in self._alive_links():
                     await self._pump(link)
+                await self._maybe_preempt()
                 await self._maybe_split()
             except asyncio.CancelledError:
                 raise
@@ -783,6 +890,48 @@ class Coordinator:
                 self.stats.inc("scheduler_errors")
                 self._kick.set()
                 await asyncio.sleep(self.heartbeat_interval)
+
+    async def _maybe_preempt(self) -> None:
+        """Revoke low-priority in-flight tails when urgent work waits.
+
+        Runs after every pump pass (any scheduling policy — unlike
+        straggler splits, preemption needs no ``chunk_window``).  The
+        trigger: a span outranking some in-flight chunk is queued while
+        no slot in the cluster is free.  Each fully-busy worker is then
+        asked to hand back the unstarted tail of its lowest-priority
+        in-flight chunk (``split`` with ``keep=0``) — the same frame a
+        straggler gets, but acked into the sched counters and exempted
+        from straggler telemetry.  One request per chunk; declines (the
+        chunk finished first) simply clear the mark.
+        """
+        links = self._alive_links()
+        if not links:
+            return
+        top = self._waiting_priority()
+        if top is None:
+            return
+        if any(len(link.inflight) < link.slots for link in links):
+            # A free slot exists, so the urgent span is dispatchable the
+            # regular way (the pump pass just ran): nothing to revoke.
+            return
+        for link in links:
+            victims = [
+                chunk
+                for chunk in link.inflight.values()
+                if not chunk.split_requested
+                and not chunk.preempt_requested
+                and not chunk.run.done
+                and len(chunk) >= 2
+                and chunk.run.policy.priority < top
+            ]
+            if not victims:
+                continue
+            victim = min(victims, key=lambda c: (c.run.policy.priority, -len(c)))
+            if victim.id not in link.inflight:
+                continue  # completed while an earlier send awaited
+            victim.preempt_requested = True
+            self.sched_stats.inc("preempt_requests")
+            await link.send(protocol.split_event(victim.id, keep=0))
 
     async def _maybe_split(self) -> None:
         """Split aged in-flight chunks of stragglers while workers idle.
@@ -806,7 +955,12 @@ class Coordinator:
         now = time.monotonic()
         for link in links:
             for chunk in list(link.inflight.values()):
-                if chunk.split_requested or len(chunk) < 2 or chunk.run.done:
+                if (
+                    chunk.split_requested
+                    or chunk.preempt_requested
+                    or len(chunk) < 2
+                    or chunk.run.done
+                ):
                     continue
                 if now - chunk.dispatched_at < self._split_threshold(link, chunk):
                     continue
@@ -857,6 +1011,7 @@ class Coordinator:
             # Guarded like the scheduler loop: a splitting bug must never
             # kill the reaper, or dead-worker detection silently stops.
             try:
+                await self._maybe_preempt()
                 await self._maybe_split()
             except asyncio.CancelledError:
                 raise
@@ -921,11 +1076,11 @@ class Coordinator:
 
     def _drop_run_chunks(self, run: _Run) -> None:
         """Purge a finished/failed run's spans from every queue."""
-        self._orphans = deque(span for span in self._orphans if span.run is not run)
+        self._orphans.retain(lambda span: span.run is not run)
         if not self._orphans:
             self._orphaned_since = None
         for link in self._links.values():
-            link.queue = deque(span for span in link.queue if span.run is not run)
+            link.queue.retain(lambda span: span.run is not run)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -1145,7 +1300,16 @@ class Coordinator:
         # whole-worker rate, fixing the under-estimate that made the
         # adaptive sizer cut starvation-sized chunks for parallel workers.
         occupancy = (busy_integral - chunk.busy_marker) / seconds if seconds > 0 else 1.0
-        self.telemetry.observe_chunk(link.id, len(results), seconds, occupancy=occupancy)
+        # A preempted chunk's completion covers only the kept prefix of a
+        # revocation the *coordinator* chose — exempt it from the EWMA so
+        # a healthy worker is not mistaken for a straggler.
+        self.telemetry.observe_chunk(
+            link.id,
+            len(results),
+            seconds,
+            occupancy=occupancy,
+            preempted=chunk.preempt_requested,
+        )
         _CHUNK_SECONDS.observe(seconds)
         link.chunks_done += 1
         link.jobs_done += len(results)
@@ -1171,9 +1335,13 @@ class Coordinator:
             return  # raced with chunk_done / reassignment: nothing to take
         kept = message.get("kept")
         if kept is None:
-            return  # split declined (chunk finished first)
+            # Split declined (chunk finished first): the full completion
+            # is on its way, a healthy sample — drop the preempt mark.
+            chunk.preempt_requested = False
+            return
         kept = int(kept)
         if kept < 0 or kept >= len(chunk):
+            chunk.preempt_requested = False
             return  # nothing handed back
         if chunk.run.done:
             # The run failed/finished while the split was in flight: the
@@ -1182,16 +1350,35 @@ class Coordinator:
             return
         tail = _Span(chunk.run, chunk.start + kept, chunk.stop, chunk.attempts)
         chunk.stop = chunk.start + kept
-        self.stats.inc("chunks_split")
-        obs.EVENTS.emit(
-            "chunk_split",
-            trace=chunk.run.trace,
-            worker=link.id,
-            chunk=chunk.id,
-            kept=kept,
-            reassigned=len(tail),
-        )
-        self._distribute([tail], exclude=link)
+        if chunk.preempt_requested:
+            # Preemption granted: the run is paused until its spans next
+            # dispatch.  The mark stays on the chunk so the pending
+            # partial chunk_done skips the straggler EWMA.  No exclusion:
+            # the priority queues already order the requeued tail behind
+            # the urgent work that triggered the revoke.
+            chunk.run.paused = True
+            self.sched_stats.inc("preemptions")
+            self.sched_stats.inc("jobs_requeued", len(tail))
+            obs.EVENTS.emit(
+                "preempted",
+                trace=chunk.run.trace,
+                worker=link.id,
+                chunk=chunk.id,
+                kept=kept,
+                requeued=len(tail),
+            )
+            self._distribute([tail])
+        else:
+            self.stats.inc("chunks_split")
+            obs.EVENTS.emit(
+                "chunk_split",
+                trace=chunk.run.trace,
+                worker=link.id,
+                chunk=chunk.id,
+                kept=kept,
+                reassigned=len(tail),
+            )
+            self._distribute([tail], exclude=link)
         self._kick.set()
 
     def _handle_chunk_failed(self, link: _WorkerLink, message: Dict[str, Any]) -> None:
@@ -1259,7 +1446,23 @@ class Coordinator:
             "scheduling": "adaptive" if self.chunk_window is not None else "static",
             "pool_median_throughput": self.telemetry.pool_median_throughput(),
             "stragglers": list(self.telemetry.stragglers()),
+            "sched": {
+                "queued_jobs_by_class": self._queued_jobs_by_class(),
+                "paused_runs": sum(1 for run in self._runs.values() if run.paused),
+                "stats": dict(self.sched_stats),
+            },
         }
+
+    def _queued_jobs_by_class(self) -> Dict[str, int]:
+        """Undispatched jobs waiting per job class, across every queue."""
+        depths = {job_class: 0 for job_class in JOB_CLASSES}
+        spans: List[_Span] = list(self._orphans)
+        for link in self._links.values():
+            spans.extend(link.queue)
+        for span in spans:
+            if not span.run.done:
+                depths[span.run.policy.job_class] += len(span)
+        return depths
 
     def describe(self) -> str:
         """Short human-readable summary."""

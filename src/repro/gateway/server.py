@@ -45,6 +45,7 @@ from repro.gateway.artifacts import (
 from repro.gateway.config import GatewayConfig
 from repro.gateway.routes import allowed_methods, match_route
 from repro.gateway.webhooks import WebhookDeliverer
+from repro.sched import SchedPolicy
 from repro.service.client import (
     ServiceCancelledError,
     ServiceClient,
@@ -112,6 +113,9 @@ class SweepRecord:
     workload: str
     params: Dict[str, Any]
     webhook_url: str = ""
+    #: Scheduling tag (wire shape, ``{"class": ..., "priority": ...}``)
+    #: the sweep was submitted with; ``None`` = untagged batch default.
+    sched: Optional[Dict[str, Any]] = None
     state: str = "running"
     key: str = ""
     deduplicated: bool = False
@@ -238,6 +242,7 @@ class Gateway:
                 record.params,
                 on_progress=progress,
                 trace=trace,
+                sched=record.sched,
                 on_accepted=accepted,
             )
             record.elapsed_seconds = result.elapsed_seconds
@@ -315,6 +320,7 @@ class Gateway:
             "key": record.key,
             "trace": record.trace,
             "deduplicated": record.deduplicated,
+            "sched": record.sched,
             "progress": {
                 "done": record.done,
                 "total": record.total,
@@ -463,12 +469,17 @@ class Gateway:
         trace = document.get("trace")
         if trace is not None and not isinstance(trace, str):
             raise httpd.HttpError(400, "'trace' must be a string")
+        try:
+            sched_policy = SchedPolicy.parse(document.get("sched"))
+        except ValueError as error:
+            raise httpd.HttpError(400, f"'sched' invalid: {error}")
         sweep_id = f"sw-{uuid.uuid4().hex[:12]}"
         record = SweepRecord(
             sweep_id=sweep_id,
             workload=workload,
             params=params,
             webhook_url=webhook_url,
+            sched=sched_policy.to_dict() if document.get("sched") is not None else None,
         )
         self._sweeps[sweep_id] = record
         record.task = asyncio.ensure_future(self._run_sweep(record, trace))

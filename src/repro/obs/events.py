@@ -71,6 +71,9 @@ EVENT_TYPES = (
     "chunk_stolen",
     "worker_joined",
     "worker_lost",
+    # multi-tenant scheduler (repro.sched policy, coordinator mechanism)
+    "preempted",
+    "resumed",
 )
 
 _EVENTS_TOTAL = REGISTRY.counter(

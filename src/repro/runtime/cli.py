@@ -100,6 +100,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.runtime import ArtifactCache, SweepEngine, default_cache_dir, make_executor
+from repro.sched import JOB_CLASSES, SchedPolicy
 
 _SCALE_EPILOG = """\
 running sweeps at scale:
@@ -217,7 +218,18 @@ def build_engine(args: argparse.Namespace) -> SweepEngine:
     # Commands without a --quiet flag (serve) never print a progress line:
     # their progress streams to clients instead of the server console.
     progress = None if getattr(args, "quiet", True) else _progress_printer()
-    return SweepEngine(executor, cache=cache, progress=progress)
+    engine = SweepEngine(executor, cache=cache, progress=progress)
+    sched_class = getattr(args, "sched_class", None)
+    sched_priority = getattr(args, "sched_priority", None)
+    if sched_class is not None or sched_priority is not None:
+        policy: Dict[str, Any] = {"class": sched_class or "batch"}
+        if sched_priority is not None:
+            policy["priority"] = sched_priority
+        try:
+            engine.sched = SchedPolicy.parse(policy).to_dict()
+        except ValueError as error:
+            raise EngineOptionError(str(error)) from error
+    return engine
 
 
 def _add_cache_size_option(group) -> None:
@@ -289,6 +301,22 @@ def _add_engine_options(parser: argparse.ArgumentParser, run_options: bool = Tru
     )
     if not run_options:
         return
+    group.add_argument(
+        "--sched-class",
+        choices=JOB_CLASSES,
+        default=None,
+        help="multi-tenant scheduling class for this sweep; interactive "
+        "outranks batch on the distributed executor (docs/scheduling.md)",
+    )
+    group.add_argument(
+        "--sched-priority",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explicit integer priority (higher dispatches first and may "
+        "preempt lower-priority in-flight work; default: the class's "
+        "built-in priority)",
+    )
     group.add_argument(
         "--fast", action="store_true", help="reduced test-scale presets"
     )

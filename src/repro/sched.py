@@ -1,0 +1,238 @@
+"""repro.sched — job classes, integer priorities and the dispatch order.
+
+The multi-tenant scheduling vocabulary shared by all three tiers: the
+service admission path parses a submit's ``sched`` field into a
+:class:`SchedPolicy`, the engine forwards it to the executor, and the
+coordinator keeps every worker's backlog in a :class:`PriorityQueue` so a
+runnable higher-priority span always dispatches before any lower-priority
+one.  Preemption itself (revoking the unstarted tail of in-flight
+lower-priority chunks via the cluster protocol's ``split`` machinery)
+lives in :mod:`repro.cluster.coordinator`; this module is the pure,
+socket-free policy layer, which is what the property-based tests pin.
+
+Two job classes exist, mirroring ARTIQ-style master scheduling:
+
+* ``interactive`` — latency-sensitive submits (dashboards, the DSE loop);
+  default priority 10.
+* ``batch`` — throughput work (PVT / Monte-Carlo grids, DNN accuracy
+  tables); default priority 0.
+
+Larger integers win.  The class only chooses the *default* priority and
+labels the queue-depth metrics; dispatch and preemption decisions compare
+the integer alone.
+
+>>> SchedPolicy.parse(None)
+SchedPolicy(job_class='batch', priority=0)
+>>> SchedPolicy.parse("interactive")
+SchedPolicy(job_class='interactive', priority=10)
+>>> SchedPolicy.parse({"class": "batch", "priority": 3}).priority
+3
+>>> SchedPolicy.parse({"class": "realtime"})
+Traceback (most recent call last):
+    ...
+ValueError: unknown job class 'realtime' (expected one of: interactive, batch)
+
+The queue pops highest-priority-first and FIFO within one priority:
+
+>>> queue = PriorityQueue(key=lambda item: item[0])
+>>> queue.append((0, "batch-a"))
+>>> queue.append((10, "interactive"))
+>>> queue.append((0, "batch-b"))
+>>> queue.popleft()
+(10, 'interactive')
+>>> queue.popleft()
+(0, 'batch-a')
+>>> len(queue)
+1
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "DEFAULT_PRIORITIES",
+    "JOB_CLASSES",
+    "PriorityQueue",
+    "SchedPolicy",
+]
+
+#: The scheduling classes a sweep can be tagged with (wire value of the
+#: submit op's ``sched.class`` field and the gateway's ``sched`` object).
+JOB_CLASSES = ("interactive", "batch")
+
+#: Priority a class implies when the submit names no explicit integer.
+DEFAULT_PRIORITIES: Dict[str, int] = {"interactive": 10, "batch": 0}
+
+#: Sanity bound on explicit priorities — wide enough for any real tiering,
+#: tight enough that a corrupted field cannot smuggle absurd integers in.
+_PRIORITY_BOUND = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedPolicy:
+    """One sweep's scheduling class and integer priority (larger wins)."""
+
+    job_class: str = "batch"
+    priority: int = 0
+
+    @classmethod
+    def parse(
+        cls, value: Union[None, str, Dict[str, Any], "SchedPolicy"]
+    ) -> "SchedPolicy":
+        """Build a policy from wire-shaped input; ``ValueError`` on junk.
+
+        Accepts ``None`` (the batch default — absent field on the wire),
+        a class name string, an existing policy, or a ``{"class": ...,
+        "priority": ...}`` object with both keys optional.  Admission
+        paths (service submit, gateway ``POST /v1/sweeps``) answer the
+        ``ValueError`` with ``bad-request`` / HTTP 400.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, SchedPolicy):
+            return value
+        if isinstance(value, str):
+            return cls._from_fields(value, None)
+        if isinstance(value, dict):
+            unknown = set(value) - {"class", "priority"}
+            if unknown:
+                raise ValueError(
+                    f"unknown sched field(s): {', '.join(sorted(unknown))}"
+                )
+            return cls._from_fields(value.get("class"), value.get("priority"))
+        raise ValueError(
+            f"sched must be a class name or an object, got {type(value).__name__}"
+        )
+
+    @classmethod
+    def _from_fields(cls, job_class: Any, priority: Any) -> "SchedPolicy":
+        if job_class is None:
+            job_class = "batch"
+        if job_class not in JOB_CLASSES:
+            raise ValueError(
+                f"unknown job class {job_class!r} "
+                f"(expected one of: {', '.join(JOB_CLASSES)})"
+            )
+        if priority is None:
+            priority = DEFAULT_PRIORITIES[job_class]
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ValueError("sched priority must be an integer")
+        if abs(priority) > _PRIORITY_BOUND:
+            raise ValueError(
+                f"sched priority out of range (|priority| <= {_PRIORITY_BOUND})"
+            )
+        return cls(job_class=str(job_class), priority=priority)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire shape of the policy (the submit field, round-trippable)."""
+        return {"class": self.job_class, "priority": self.priority}
+
+    def describe(self) -> str:
+        return f"{self.job_class}/p{self.priority}"
+
+
+class PriorityQueue:
+    """Deque-like backlog that always yields the highest priority first.
+
+    Items of equal priority keep strict FIFO order (``append`` at the
+    back, ``appendleft`` at the front — the home of a dispatch
+    remainder), so within one priority the queue behaves exactly like the
+    plain deque it replaces and dispatch histories stay deterministic for
+    a fixed event order.  Across priorities, :meth:`popleft` drains the
+    highest bucket completely before touching the next — the invariant
+    the property-based tests pin: no lower-priority item is ever handed
+    out while a higher-priority one is queued.
+
+    ``key`` maps an item to its integer priority and is evaluated on
+    every operation (never cached), so items whose priority cannot change
+    while queued need no re-insertion discipline.
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], int]] = None):
+        self._key = key if key is not None else (lambda item: 0)
+        self._buckets: Dict[int, Deque[Any]] = {}
+
+    def _bucket(self, item: Any) -> Deque[Any]:
+        return self._buckets.setdefault(int(self._key(item)), deque())
+
+    # -- deque-compatible surface --------------------------------------
+    def append(self, item: Any) -> None:
+        self._bucket(item).append(item)
+
+    def appendleft(self, item: Any) -> None:
+        self._bucket(item).appendleft(item)
+
+    def extend(self, items: Any) -> None:
+        for item in items:
+            self.append(item)
+
+    def popleft(self) -> Any:
+        """Remove and return the oldest item of the highest priority."""
+        for priority in sorted(self._buckets, reverse=True):
+            bucket = self._buckets[priority]
+            if bucket:
+                item = bucket.popleft()
+                if not bucket:
+                    del self._buckets[priority]
+                return item
+        raise IndexError("pop from an empty PriorityQueue")
+
+    def pop_tail(self, priority: Optional[int] = None) -> Any:
+        """Remove and return the newest item of one priority bucket.
+
+        ``priority=None`` takes from the *lowest* bucket present.  The
+        steal path passes an explicit priority: the thief empties the
+        victim's most-urgent bucket from its tail, so the victim keeps
+        the items it would reach next within that bucket and theft never
+        reorders work across priorities.
+        """
+        order = sorted(self._buckets) if priority is None else [priority]
+        for candidate in order:
+            bucket = self._buckets.get(candidate)
+            if bucket:
+                item = bucket.pop()
+                if not bucket:
+                    del self._buckets[candidate]
+                return item
+        raise IndexError("pop from an empty PriorityQueue")
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def retain(self, predicate: Callable[[Any], bool]) -> List[Any]:
+        """Keep only items matching ``predicate``; returns the dropped."""
+        dropped: List[Any] = []
+        for priority in list(self._buckets):
+            kept: Deque[Any] = deque()
+            for item in self._buckets[priority]:
+                (kept if predicate(item) else dropped).append(item)
+            if kept:
+                self._buckets[priority] = kept
+            else:
+                del self._buckets[priority]
+        return dropped
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate in dispatch order: priority descending, FIFO within."""
+        for priority in sorted(self._buckets, reverse=True):
+            yield from self._buckets[priority]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __bool__(self) -> bool:
+        return any(self._buckets.values())
+
+    # -- scheduling introspection --------------------------------------
+    def highest_priority(self) -> Optional[int]:
+        """Priority of the next :meth:`popleft`, or ``None`` when empty.
+
+        >>> queue = PriorityQueue()
+        >>> queue.highest_priority() is None
+        True
+        """
+        priorities = [p for p, bucket in self._buckets.items() if bucket]
+        return max(priorities) if priorities else None

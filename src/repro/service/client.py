@@ -234,6 +234,7 @@ class ServiceClient:
         on_progress: Optional[ProgressCallback] = None,
         trace: Optional[str] = None,
         on_accepted: Optional[Callable[[str, bool, str], None]] = None,
+        sched: Optional[Any] = None,
     ) -> SweepResult:
         """Run ``workload`` on the server, streaming progress along the way.
 
@@ -257,6 +258,11 @@ class ServiceClient:
             the result.  The gateway uses this to start bridging ``watch``
             events for a sweep while it is still running; plain callers
             can ignore it and read :attr:`SweepResult.trace` at the end.
+        sched:
+            Optional scheduling tag (protocol v4) — a job-class name
+            (``"interactive"`` / ``"batch"``) or a ``{"class": ...,
+            "priority": ...}`` object; see :mod:`repro.sched`.  A
+            deduplicated submit keeps the first submitter's policy.
 
         Raises
         ------
@@ -280,7 +286,9 @@ class ServiceClient:
         try:
             writer.write(
                 protocol.encode_message(
-                    protocol.submit_request(request_id, workload, params, trace=trace)
+                    protocol.submit_request(
+                        request_id, workload, params, trace=trace, sched=sched
+                    )
                 )
             )
             await writer.drain()
@@ -381,6 +389,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     connect_timeout: Optional[float] = None,
     trace: Optional[str] = None,
+    sched: Optional[Any] = None,
 ) -> SweepResult:
     """Synchronous one-shot submit for scripts: connect, run, disconnect.
 
@@ -416,7 +425,7 @@ def run_sweep(
         await client.connect(timeout=connect_timeout)
         try:
             return await client.submit(
-                workload, params, on_progress=on_progress, trace=trace
+                workload, params, on_progress=on_progress, trace=trace, sched=sched
             )
         finally:
             await client.aclose()

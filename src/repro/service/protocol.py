@@ -9,7 +9,15 @@ Client → server messages carry an ``op``:
 
 ``{"op": "submit", "id": <str>, "workload": <name>, "params": {...}}``
     Run a sweep workload.  ``id`` is a client-chosen request id echoed on
-    every event the server emits for this request.
+    every event the server emits for this request.  An optional ``sched``
+    field (protocol v4) tags the sweep for the multi-tenant scheduler:
+    either a job-class name (``"interactive"`` / ``"batch"``) or an
+    object ``{"class": ..., "priority": <int>}`` — anything
+    :meth:`repro.sched.SchedPolicy.parse` accepts.  Higher-priority
+    sweeps dispatch first on the distributed executor and may preempt
+    lower-priority in-flight work; an absent field means the batch
+    default, preserving pre-v4 behaviour.  Deduplicated submits keep the
+    first submitter's policy (like ``trace``).
 ``{"op": "cancel", "id": <str>}``
     Abort the in-flight submit with the same ``id`` on this connection.
     The submit terminates with an ``error`` event (``code="cancelled"``);
@@ -91,7 +99,9 @@ from repro.wire import (  # noqa: F401  (re-exports)
 #: and the stable ``code`` field on ``error`` events.  Version 3 added the
 #: ``watch`` op (``watching`` ack + ``obs`` event stream) and the ``trace``
 #: observability id on ``accepted`` events and ``submit`` requests.
-PROTOCOL_VERSION = 3
+#: Version 4 added the optional ``sched`` field on ``submit`` (job class +
+#: priority for the multi-tenant scheduler, :mod:`repro.sched`).
+PROTOCOL_VERSION = 4
 
 #: Stable machine-readable failure classes carried by ``error`` events.
 ERROR_CODES = ("bad-request", "busy", "cancelled", "failed")
@@ -125,11 +135,14 @@ def submit_request(
     workload: str,
     params: Optional[Dict[str, Any]] = None,
     trace: Optional[str] = None,
+    sched: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Submit a workload.  ``trace`` (optional, v3) proposes a client-side
     observability id; the server echoes it on ``accepted`` when the request
     starts a fresh flight, or answers with the first submitter's id when
-    the request deduplicates onto an in-flight sweep."""
+    the request deduplicates onto an in-flight sweep.  ``sched`` (optional,
+    v4) is the scheduling tag — a job-class name or a ``{"class": ...,
+    "priority": ...}`` object (:meth:`repro.sched.SchedPolicy.parse`)."""
     message = {
         "op": "submit",
         "id": request_id,
@@ -138,6 +151,8 @@ def submit_request(
     }
     if trace is not None:
         message["trace"] = trace
+    if sched is not None:
+        message["sched"] = sched
     return message
 
 

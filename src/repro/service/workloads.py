@@ -234,6 +234,170 @@ def run_eventsim(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
     }
 
 
+#: Execution modes of the paper's Table II / III protocol the ``dnn``
+#: workload can evaluate (FLOAT32, exact INT4, and the DSE corner LUTs).
+DNN_MODES = ("float32", "int4", "fom", "power", "variation")
+
+
+def _dnn_shard(
+    model: str, modes: tuple, quick: bool, bounds: tuple
+) -> Dict[str, Any]:
+    """Module-level shard body (picklable for the process-pool executor).
+
+    Trains / quantises the model deterministically (fixed seeds) and
+    evaluates one contiguous ``[lo, hi)`` slice of the effective test set,
+    returning integer top-1 / top-5 hit counts so the merged accuracy is
+    bit-identical to evaluating the whole test set in one call.
+    """
+    import numpy as np
+
+    from repro.analysis.dnn_tables import (
+        DnnExperimentConfig,
+        corner_backends,
+        model_builders,
+    )
+    from repro.dnn.datasets import imagenet_like
+    from repro.dnn.quantization import QuantizationScheme, quantize_network
+    from repro.dnn.training import TrainingConfig, train_network
+
+    config = DnnExperimentConfig.quick() if quick else DnnExperimentConfig()
+    dataset = imagenet_like(
+        image_size=config.image_size,
+        train_per_class=config.train_per_class,
+        test_per_class=config.test_per_class,
+    )
+    builders = dict(model_builders(config.image_size, dataset.classes))
+    network = builders[model]()
+    train_network(
+        network,
+        dataset,
+        TrainingConfig(
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            seed=config.seed,
+        ),
+    )
+    calibration = dataset.train_images[: config.calibration_samples]
+    quantized = quantize_network(network, calibration, QuantizationScheme())
+    corner_modes = [mode for mode in modes if mode not in ("float32", "int4")]
+    backends = corner_backends(seed=config.seed) if corner_modes else {}
+
+    images = dataset.test_images
+    labels = np.asarray(dataset.test_labels)
+    if config.max_eval_samples is not None and images.shape[0] > config.max_eval_samples:
+        images = images[: config.max_eval_samples]
+        labels = labels[: config.max_eval_samples]
+    lo, hi = int(bounds[0]), int(bounds[1])
+    images, labels = images[lo:hi], labels[lo:hi]
+
+    def hits(scores: np.ndarray, k: int) -> int:
+        # Mirrors repro.core.metrics.top_k_accuracy row by row; returning
+        # the integer hit count (not the mean) keeps the sharded merge an
+        # exact sum, so ``sum(hits) / samples`` is bit-identical to the
+        # unsharded ``np.mean``.
+        top_k = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        return int(np.any(top_k == labels[:, np.newaxis], axis=1).sum())
+
+    counts: Dict[str, int] = {"samples": hi - lo}
+    for mode in modes:
+        if mode == "float32":
+            net = network
+        elif mode == "int4":
+            net = quantized
+        else:
+            net = quantized.with_backend(backends[mode], name_suffix=f"-{mode}")
+        scores = np.asarray(
+            net.predict(images, batch_size=config.batch_size), dtype=float
+        )
+        counts[f"{mode}_top1"] = hits(scores, 1)
+        counts[f"{mode}_top5"] = hits(scores, min(5, scores.shape[1]))
+    return counts
+
+
+@register_workload("dnn")
+def run_dnn(params: Dict[str, Any], engine: SweepEngine) -> Dict[str, Any]:
+    """DNN accuracy pipeline (paper Table II protocol) as a sharded sweep.
+
+    Parameters: ``model`` (one of the four Table II backbones, default
+    ``"VGG16"``), ``modes`` (subset of :data:`DNN_MODES`, default
+    ``["float32", "int4"]`` — corner modes pull in the DSE), ``quick``
+    (default true: the test-scale :meth:`DnnExperimentConfig.quick`
+    preset) and ``shards`` (split the test-set evaluation into that many
+    contiguous engine jobs).
+
+    Every shard trains the same deterministic network (fixed seeds) and
+    evaluates its slice of the test split, returning integer hit counts;
+    the merged top-1 / top-5 accuracies are bit-identical to calling the
+    evaluation directly on the full test set, for any shard count.
+    """
+    import numpy as np
+
+    from repro.analysis.dnn_tables import DnnExperimentConfig
+    from repro.runtime import Artifact, Job, SweepSpec, job_key
+
+    model = str(params.get("model", "VGG16"))
+    if model not in ("VGG16", "VGG19", "ResNet50", "ResNet101"):
+        raise ValueError(f"unknown model {model!r}")
+    modes = tuple(params.get("modes", ["float32", "int4"]))
+    if not modes:
+        raise ValueError("modes must be a non-empty list")
+    for mode in modes:
+        if mode not in DNN_MODES:
+            raise ValueError(f"unknown mode {mode!r}; available: {', '.join(DNN_MODES)}")
+    quick = bool(params.get("quick", True))
+    shards = int(params.get("shards", 1))
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+
+    config = DnnExperimentConfig.quick() if quick else DnnExperimentConfig()
+    total = 20 * config.test_per_class  # imagenet_like has 20 classes
+    if config.max_eval_samples is not None:
+        total = min(total, config.max_eval_samples)
+    shards = min(shards, total)
+    bounds = np.linspace(0, total, shards + 1, dtype=int)
+    jobs = []
+    for index in range(shards):
+        window = (int(bounds[index]), int(bounds[index + 1]))
+        jobs.append(
+            Job(
+                fn=_dnn_shard,
+                args=(model, modes, quick, window),
+                name=f"dnn[{model}:{window[0]}:{window[1]}]",
+                key=job_key("service-dnn", model, modes, quick, window),
+                encode=lambda result: Artifact(
+                    arrays={name: np.array(value) for name, value in result.items()}
+                ),
+                decode=lambda artifact: {
+                    name: int(value) for name, value in artifact.arrays.items()
+                },
+            )
+        )
+    outputs = engine.run(SweepSpec(f"dnn[{model}x{shards}]", jobs))
+    samples = sum(output["samples"] for output in outputs)
+    reports = {}
+    for mode in modes:
+        top1 = sum(output[f"{mode}_top1"] for output in outputs) / samples
+        top5 = sum(output[f"{mode}_top5"] for output in outputs) / samples
+        reports[mode] = {
+            "model": model,
+            "mode": mode,
+            "top1": top1,
+            "top5": top5,
+            "top1_percent": 100.0 * top1,
+            "top5_percent": 100.0 * top5,
+            "samples": samples,
+        }
+    return {
+        "command": "dnn",
+        "model": model,
+        "quick": quick,
+        "shards": shards,
+        "samples": samples,
+        "reports": reports,
+    }
+
+
 def _montecarlo_job(samples: int, seed: int) -> Dict[str, Any]:
     """Module-level job body (picklable for the process-pool executor)."""
     from repro.analysis.pvt_sweeps import mismatch_monte_carlo

@@ -171,7 +171,13 @@ class WorkerStats:
             self.inflight_chunks -= 1
         return self.busy_integral
 
-    def observe_chunk(self, jobs: int, seconds: float, occupancy: float = 1.0) -> None:
+    def observe_chunk(
+        self,
+        jobs: int,
+        seconds: float,
+        occupancy: float = 1.0,
+        preempted: bool = False,
+    ) -> None:
         """Fold one completed chunk (``jobs`` finished in ``seconds``) in.
 
         ``occupancy`` is the chunk's mean co-residency from the busy
@@ -180,12 +186,32 @@ class WorkerStats:
         *whole-worker* capacity instead of per-chunk speed.  Empty chunks
         (a split can leave a zero-job head) and non-positive durations
         carry no throughput information and are ignored.
+
+        ``preempted`` marks the partial completion of a chunk whose tail
+        the scheduler revoked (``split`` with ``keep=0`` issued for a
+        higher-priority sweep, see :mod:`repro.sched`).  Such a chunk
+        finishes few jobs over its full dispatch-to-settlement wall time
+        — including the preemption round-trip — so its sample reads like
+        a straggler even on a perfectly healthy worker.  The jobs still
+        count toward the volume totals, but the speed EWMAs are left
+        untouched: being preempted is the scheduler's doing, not the
+        worker slowing down.
+
+        >>> stats = WorkerStats("w1")
+        >>> stats.observe_chunk(jobs=8, seconds=1.0)       # healthy: 8 jobs/s
+        >>> stats.observe_chunk(jobs=1, seconds=5.0, preempted=True)
+        >>> stats.throughput                               # estimate intact
+        8.0
+        >>> stats.jobs_observed                            # volume still counted
+        9
         """
         if jobs <= 0 or seconds <= 0.0:
             return
         occupancy = max(1.0, occupancy)
         self.chunks_observed += 1
         self.jobs_observed += jobs
+        if preempted:
+            return
         self.ewma_throughput = ewma(
             self.ewma_throughput, (jobs / seconds) * occupancy, self.alpha
         )
@@ -277,9 +303,16 @@ class TelemetryBook:
         self._stats.pop(worker_id, None)
 
     def observe_chunk(
-        self, worker_id: str, jobs: int, seconds: float, occupancy: float = 1.0
+        self,
+        worker_id: str,
+        jobs: int,
+        seconds: float,
+        occupancy: float = 1.0,
+        preempted: bool = False,
     ) -> None:
-        self._entry(worker_id).observe_chunk(jobs, seconds, occupancy=occupancy)
+        self._entry(worker_id).observe_chunk(
+            jobs, seconds, occupancy=occupancy, preempted=preempted
+        )
 
     def observe_heartbeat(self, worker_id: str, now: float) -> None:
         self._entry(worker_id).observe_heartbeat(now)

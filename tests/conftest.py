@@ -8,6 +8,9 @@ the reference sweeps.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Optional
+
 import numpy as np
 import pytest
 
@@ -94,3 +97,74 @@ def tiny_dataset():
 def rng() -> np.random.Generator:
     """Fresh deterministic random generator per test."""
     return np.random.default_rng(1234)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosSchedule:
+    """One seeded adversarial scheduling regime for the cluster tests.
+
+    Drawn deterministically from a seed, so every trial is reproducible
+    from its parametrized id alone.  The base regime (window / probe /
+    straggler throttle / worker kill / job count) drives the randomized
+    split-steal-death schedules of ``test_cluster``; the multi-tenant
+    fields (drawn strictly *after* the base regime, so legacy seeds keep
+    their historical draws) add concurrent mixed-priority sweeps, a
+    mid-run pool resize and preemption pressure for ``test_sched_chaos``.
+    """
+
+    seed: int
+    #: Adaptive chunk window in seconds, or ``None`` for static chunks.
+    window: Optional[float]
+    #: Probe / static chunk size.
+    probe: int
+    #: Straggler worker's per-job sleep.
+    throttle: float
+    #: SIGKILL one local worker mid-run.
+    kill_one: bool
+    #: Jobs in the (batch) sweep.
+    count: int
+    # --- multi-tenant chaos (test_sched_chaos) ------------------------
+    #: Jobs in the concurrently submitted interactive sweep.
+    interactive_count: int
+    #: Priority of the interactive sweep (outranks the batch sweep).
+    interactive_priority: int
+    #: Priority of the batch sweep.
+    batch_priority: int
+    #: Batch progress ticks to wait for before submitting the
+    #: interactive sweep (so its spans preempt in-flight batch work).
+    interactive_after_done: int
+    #: Join one extra throttled worker mid-run (a pool resize).
+    resize_mid_run: bool
+
+    @property
+    def entropy(self) -> int:
+        """Entropy for the sweep's seeded job values."""
+        return 9000 + self.seed
+
+    @classmethod
+    def draw(cls, seed: int) -> "ChaosSchedule":
+        rng = np.random.default_rng(1000 + seed)
+        window = float(rng.uniform(0.02, 0.08)) if rng.random() < 0.75 else None
+        probe = int(rng.integers(1, 6))
+        throttle = float(rng.uniform(0.03, 0.12))
+        kill_one = bool(rng.random() < 0.5)
+        count = int(rng.integers(16, 28))
+        return cls(
+            seed=seed,
+            window=window,
+            probe=probe,
+            throttle=throttle,
+            kill_one=kill_one,
+            count=count,
+            interactive_count=int(rng.integers(6, 12)),
+            interactive_priority=int(rng.integers(5, 20)),
+            batch_priority=int(rng.integers(-3, 1)),
+            interactive_after_done=int(rng.integers(2, 5)),
+            resize_mid_run=bool(rng.random() < 0.5),
+        )
+
+
+@pytest.fixture()
+def chaos_schedule():
+    """Factory fixture: ``chaos_schedule(seed)`` draws one seeded regime."""
+    return ChaosSchedule.draw

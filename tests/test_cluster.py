@@ -621,23 +621,20 @@ class TestAdaptiveScheduling:
                 straggler.wait(timeout=10)
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_adversarial_schedules_merge_bit_identical(self, seed):
+    def test_adversarial_schedules_merge_bit_identical(self, seed, chaos_schedule):
         """Randomized resize/split/steal/death sequences vs serial.
 
-        Each trial draws a scheduling regime — window or static, probe
-        size, straggler slowness, and whether a worker is killed mid-run —
-        and the merged result must equal the serial one exactly.
+        Each trial draws a scheduling regime (:class:`ChaosSchedule` from
+        ``conftest``) — window or static, probe size, straggler slowness,
+        and whether a worker is killed mid-run — and the merged result
+        must equal the serial one exactly.  ``test_sched_chaos`` runs the
+        same regimes with concurrent mixed-priority sweeps on top.
         """
-        rng = np.random.default_rng(1000 + seed)
-        window = float(rng.uniform(0.02, 0.08)) if rng.random() < 0.75 else None
-        probe = int(rng.integers(1, 6))
-        throttle = float(rng.uniform(0.03, 0.12))
-        kill_one = bool(rng.random() < 0.5)
-        count = int(rng.integers(16, 28))
+        plan = chaos_schedule(seed)
         executor = DistributedExecutor(
             workers=2,
-            chunksize=probe,
-            chunk_window=window,
+            chunksize=plan.probe,
+            chunk_window=plan.window,
             heartbeat_interval=0.05,
             heartbeat_timeout=2.0,
             start_timeout=START_TIMEOUT,
@@ -647,28 +644,28 @@ class TestAdaptiveScheduling:
             pytest.skip("cluster cannot start in this environment")
         straggler = None
         try:
-            straggler = _spawn_throttled_worker(executor.address, throttle=throttle)
+            straggler = _spawn_throttled_worker(executor.address, throttle=plan.throttle)
             _await_workers(executor, 3)
             jobs = [
-                Job(fn=_slow_seeded, args=(9000 + seed, i, 0.01), name=f"adv[{i}]")
-                for i in range(count)
+                Job(fn=_slow_seeded, args=(plan.entropy, i, 0.01), name=f"adv[{i}]")
+                for i in range(plan.count)
             ]
             serial = SerialExecutor().execute(
                 [
-                    Job(fn=_slow_seeded, args=(9000 + seed, i, 0.0), name=f"adv[{i}]")
-                    for i in range(count)
+                    Job(fn=_slow_seeded, args=(plan.entropy, i, 0.0), name=f"adv[{i}]")
+                    for i in range(plan.count)
                 ]
             )
             victim = executor.worker_pids[0]
             killed = []
 
             def progress(done: int, total: int, label: str) -> None:
-                if kill_one and done >= 3 and not killed:
+                if plan.kill_one and done >= 3 and not killed:
                     os.kill(victim, signal.SIGKILL)
                     killed.append(victim)
 
             assert executor.execute(jobs, progress=progress) == serial
-            if kill_one:
+            if plan.kill_one:
                 assert killed, "the victim worker was never killed"
                 assert executor.status()["stats"]["workers_lost"] >= 1
         finally:
@@ -795,6 +792,29 @@ class TestSlotOccupancy:
         # jobs/seconds per chunk) halved this to 0.5
         assert stats.throughput == pytest.approx(1.0)
         assert stats.inflight_chunks == 0
+
+    def test_preempted_chunk_leaves_ewma_untouched(self):
+        """Regression: a preemption-truncated completion (few jobs over a
+        wall time that includes the revoke round-trip) must not decay the
+        worker's EWMA — the revoke was the scheduler's choice, not the
+        worker slowing down.  Volume totals still count the kept jobs."""
+        from repro.telemetry import TelemetryBook, WorkerStats
+
+        stats = WorkerStats("w1")
+        stats.observe_chunk(jobs=10, seconds=1.0)  # healthy: 10 jobs/s
+        healthy_throughput = stats.ewma_throughput
+        healthy_seconds = stats.ewma_chunk_seconds
+        stats.observe_chunk(jobs=1, seconds=8.0, preempted=True)
+        assert stats.ewma_throughput == healthy_throughput
+        assert stats.ewma_chunk_seconds == healthy_seconds
+        assert stats.chunks_observed == 2
+        assert stats.jobs_observed == 11
+        # and through the book-level API the coordinator actually calls
+        book = TelemetryBook()
+        book.observe_chunk("w2", jobs=4, seconds=1.0)
+        before = book.get("w2").ewma_throughput
+        book.observe_chunk("w2", jobs=1, seconds=9.0, preempted=True)
+        assert book.get("w2").ewma_throughput == before
 
     def test_two_slot_worker_measures_parallel_capacity(self):
         """Regression with a real ``--slots 2`` worker: measured EWMA

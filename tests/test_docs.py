@@ -26,6 +26,7 @@ DOC_FILES = sorted(
 #: satellite added ``>>>`` examples to each).
 DOCTEST_MODULES = [
     "repro.journal",
+    "repro.sched",
     "repro.telemetry",
     "repro.runtime",
     "repro.runtime.cache",
@@ -115,6 +116,11 @@ class TestDocsTree:
         for event in ("watching", "obs"):
             assert f'"event": "{event}"' in spec, f"service event {event} undocumented"
         assert '"trace"' in spec or "`trace`" in spec, "trace field undocumented"
+        # Service protocol v4 (multi-tenant scheduling): the sched submit
+        # field and the journal's pause/resume transitions are specified.
+        assert '"sched"' in spec or "`sched`" in spec, "sched field undocumented"
+        for transition in ("paused", "resumed"):
+            assert f"`{transition}`" in spec, f"transition {transition} undocumented"
         accepted = service_protocol.accepted_event("r", "k", False, trace="t-1")
         assert accepted["trace"] == "t-1"
         assert service_protocol.watch_request("r")["op"] == "watch"
@@ -188,6 +194,7 @@ class TestDocsTree:
             "verify_signature",
             "webhook_url",
             "error_code",
+            "sched",
         ):
             assert needle in text, f"gateway.md does not mention {needle}"
 
@@ -223,11 +230,24 @@ class TestDocsTree:
             "throughput_jobs_per_s",
             "split",
             "--throttle",
+            # multi-tenant scheduling (repro.sched)
+            "--sched-class",
+            "--sched-priority",
+            "preempt",
+            "bench_priority_scheduling.py",
         ):
             assert needle in text, f"scheduling.md does not mention {needle}"
         from repro.cluster.coordinator import SPLIT_AGE_FACTOR
 
         assert f"SPLIT_AGE_FACTOR = {SPLIT_AGE_FACTOR}" in text
+        # the documented class vocabulary and default priorities are the
+        # shipped ones
+        from repro.sched import DEFAULT_PRIORITIES, JOB_CLASSES
+
+        for job_class in JOB_CLASSES:
+            assert f"`{job_class}`" in text, f"job class {job_class} undocumented"
+        assert JOB_CLASSES == ("interactive", "batch")
+        assert DEFAULT_PRIORITIES == {"interactive": 10, "batch": 0}
 
     def test_observability_doc_matches_the_registry(self):
         """docs/observability.md is a *reference*: every metric any tier

@@ -540,3 +540,51 @@ class TestMontecarloWorkload:
         assert set(cold.payload["sigma_v_blb"]) == {"0.5ns", "1.0ns", "1.5ns", "2.0ns"}
         assert ticks == [(1, 1)], "the single vectorised job reports one tick"
         assert stats.jobs_executed == 1 and stats.cache_hits == 1
+
+
+class TestDnnWorkload:
+    def test_sharded_dnn_accuracy_is_bit_identical(self, tmp_path):
+        """The sharded DNN evaluation merges integer hit counts, so any
+        shard count reproduces the unsharded accuracies bit for bit."""
+        from repro.service.workloads import _dnn_shard
+
+        params = {"model": "VGG16", "modes": ["float32", "int4"]}
+
+        async def scenario():
+            engine = SweepEngine(cache=ArtifactCache(tmp_path))
+            async with running_service(engine) as service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    whole = await client.submit("dnn", {**params, "shards": 1})
+                    sharded = await client.submit("dnn", {**params, "shards": 3})
+            return whole, sharded
+
+        whole, sharded = run(scenario())
+        assert whole.payload["shards"] == 1 and sharded.payload["shards"] == 3
+        assert sharded.payload["samples"] == whole.payload["samples"]
+        assert sharded.payload["reports"] == whole.payload["reports"]
+        # a direct single-window evaluation anchors the merge arithmetic:
+        # summed per-shard hit counts over samples IS the full-set mean
+        counts = _dnn_shard(
+            "VGG16", ("float32", "int4"), True, (0, whole.payload["samples"])
+        )
+        assert counts["samples"] == whole.payload["samples"]
+        for mode in ("float32", "int4"):
+            report = whole.payload["reports"][mode]
+            assert report["top1"] == counts[f"{mode}_top1"] / counts["samples"]
+            assert report["top5"] == counts[f"{mode}_top5"] / counts["samples"]
+
+    def test_dnn_rejects_unknown_model_and_mode(self, tmp_path):
+        async def scenario():
+            engine = SweepEngine(cache=ArtifactCache(tmp_path))
+            async with running_service(engine) as service:
+                host, port = service.address
+                async with ServiceClient(host, port) as client:
+                    with pytest.raises(ServiceError, match="unknown model"):
+                        await client.submit("dnn", {"model": "AlexNet"})
+                    with pytest.raises(ServiceError, match="unknown mode"):
+                        await client.submit("dnn", {"modes": ["float64"]})
+                    with pytest.raises(ServiceError, match="shards"):
+                        await client.submit("dnn", {"shards": 0})
+
+        run(scenario())
