@@ -85,6 +85,6 @@ runtime unconditionally and the modelling layers only lazily, per
 workload.
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = ["__version__"]

@@ -107,7 +107,19 @@ class EnergyModelReference:
         to ground and re-charged afterwards, and the internal nodes always
         toggle one full swing in the worst case that sizing is done for.
         """
-        vdd = conditions.vdd
+        return float(self.write_energy_table(conditions.vdd, conditions.temperature))
+
+    def write_energy_table(
+        self, vdd: ArrayLike, temperature: ArrayLike
+    ) -> np.ndarray:
+        """Write energy over per-record supply / temperature columns.
+
+        ``vdd`` and ``temperature`` broadcast against each other; every
+        element is bit-identical to a scalar :meth:`write_energy` call at
+        that operating point (the accounting is purely elementwise), so a
+        whole characterisation table evaluates as one NumPy pass.
+        """
+        vdd = np.asarray(vdd, dtype=float)
         # Both the BL and the BLB are driven during a write (one of them
         # rail-to-rail), the internal nodes toggle, and the word line is
         # pulsed to VDD.
@@ -116,20 +128,31 @@ class EnergyModelReference:
             + 2.0 * self.technology.cell_internal_capacitance * vdd**2
             + self.technology.wordline_capacitance * vdd**2
         )
-        switching *= 1.0 + self.write_overhead
-        leakage = self._leakage_energy(conditions)
-        return switching + leakage
+        switching = switching * (1.0 + self.write_overhead)
+        return switching + self._leakage_energy_table(vdd, temperature)
 
     def _leakage_energy(self, conditions: OperatingConditions) -> float:
         """Leakage energy over the write phase; grows exponentially with T."""
+        return float(
+            self._leakage_energy_table(conditions.vdd, conditions.temperature)
+        )
+
+    def _leakage_energy_table(
+        self, vdd: ArrayLike, temperature: ArrayLike
+    ) -> np.ndarray:
+        """Elementwise leakage energy over supply / temperature columns."""
         tech = self.technology
-        delta_t = conditions.temperature - tech.temperature_nominal
+        delta_t = np.asarray(temperature, dtype=float) - tech.temperature_nominal
         # Sub-threshold leakage roughly doubles every ~25 K; linearised over
         # the industrial range this is a ~2.8 %/K growth, and it scales
         # linearly with the supply voltage.
         temperature_factor = 1.0 + 0.028 * delta_t
-        vdd_factor = conditions.vdd / tech.vdd_nominal
-        power = self.leakage_power_nominal * max(temperature_factor, 0.1) * vdd_factor
+        vdd_factor = vdd / tech.vdd_nominal
+        power = (
+            self.leakage_power_nominal
+            * np.maximum(temperature_factor, 0.1)
+            * vdd_factor
+        )
         return power * self.write_duration
 
     def word_write_energy(self, conditions: OperatingConditions, bits: int = 4) -> float:
@@ -158,13 +181,32 @@ class EnergyModelReference:
         conditions:
             PVT operating point.
         """
+        return self.discharge_energy_table(
+            delta_v_bl, wordline_voltage, conditions.vdd, conditions.temperature
+        )
+
+    def discharge_energy_table(
+        self,
+        delta_v_bl: ArrayLike,
+        wordline_voltage: ArrayLike,
+        vdd: ArrayLike,
+        temperature: ArrayLike,
+    ) -> np.ndarray:
+        """Discharge energy over per-record columns, one NumPy pass.
+
+        Accepts whole characterisation columns (``vdd`` / ``temperature``
+        varying per record) instead of a single
+        :class:`~repro.circuits.conditions.OperatingConditions` point; each
+        element is bit-identical to the corresponding scalar
+        :meth:`discharge_energy` call because the accounting is purely
+        elementwise.
+        """
         delta_v = np.maximum(np.asarray(delta_v_bl, dtype=float), 0.0)
         del wordline_voltage  # accepted for API symmetry; the word-line /
         # DAC driver energy is accounted separately by the multiplier model
         # so it is deliberately *not* part of the cell discharge energy
         # (otherwise it would be double-counted and would break the
         # delta-V-only dependence of paper Eq. 8).
-        vdd = conditions.vdd
 
         restore = self._bitline_capacitance * vdd * delta_v
         # The pre-charge switch dissipates an extra quadratic term (the
@@ -174,7 +216,7 @@ class EnergyModelReference:
         sampling = self.technology.sampling_capacitance * vdd * delta_v
 
         temperature_factor = 1.0 + 0.0008 * (
-            conditions.temperature - self.technology.temperature_nominal
+            np.asarray(temperature, dtype=float) - self.technology.temperature_nominal
         )
         return (restore + restore_loss + sampling) * temperature_factor
 

@@ -64,8 +64,10 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hashlib
 import itertools
 import time
+from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs, wire
@@ -117,6 +119,63 @@ _CHUNK_SECONDS = obs.histogram(
     "repro_cluster_chunk_seconds",
     "Dispatch-to-completion wall time of cluster chunks.",
 )
+
+
+def _consume_shm_payload(message: Dict[str, Any]) -> bytes:
+    """Copy a shared-memory completion's payload out and free the segment.
+
+    Attaches the worker-created segment named in the frame, verifies the
+    declared SHA-256 digest over the declared ``size`` bytes, then closes
+    *and unlinks* it — unlink-after-copy is the coordinator's half of the
+    cleanup contract (the worker tolerates the resulting
+    ``FileNotFoundError`` at its own teardown).  Any mismatch raises
+    :class:`ClusterError` after the segment has still been released, so a
+    corrupt handoff cannot leak /dev/shm space.
+    """
+    name = str(message.get("shm"))
+    declared_digest = str(message.get("digest", ""))
+    size = int(message.get("size", -1))
+    if size < 0 or size > wire.MAX_BINARY_BYTES:
+        raise ClusterError(f"shared-memory completion declares bad size {size}")
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError) as error:
+        raise ClusterError(f"cannot attach shared memory {name!r}: {error}") from None
+    try:
+        if segment.size < size:
+            raise ClusterError(
+                f"shared memory {name!r} holds {segment.size} bytes, "
+                f"{size} declared"
+            )
+        payload = bytes(segment.buf[:size])
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # repro: ignore[REPRO-ERR01] -- the worker already unlinked; nothing left to release
+            pass
+    if hashlib.sha256(payload).hexdigest() != declared_digest:
+        raise ClusterError(f"shared memory {name!r} failed digest verification")
+    return payload
+
+
+def _decode_chunk_results(message: Dict[str, Any]) -> List[Any]:
+    """Decode a ``chunk_done`` frame's results, whatever their transport.
+
+    Protocol v5 binary completions carry ``arrays`` specs plus either an
+    attached socket payload or a shared-memory reference; anything else is
+    the legacy pickled ``results`` field.  Raises :class:`ClusterError` or
+    :class:`repro.wire.ProtocolError` on any inconsistency.
+    """
+    if "arrays" in message:
+        if "shm" in message:
+            payload = _consume_shm_payload(message)
+        else:
+            payload = message.get(wire.PAYLOAD_KEY)
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
+                raise ClusterError("binary completion without an attached payload")
+        return list(wire.unpack_arrays(message["arrays"], bytes(payload)))
+    return protocol.unpack_results(str(message.get("results", "")))
 
 
 class ClusterError(RuntimeError):
@@ -1268,7 +1327,7 @@ class Coordinator:
         settled_at = time.monotonic()
         busy_integral = self.telemetry.chunk_settled(link.id, settled_at)
         try:
-            results = protocol.unpack_results(str(message.get("results", "")))
+            results = _decode_chunk_results(message)
         except Exception as error:
             chunk.run.fail(ClusterError(f"undecodable results for {chunk.id}: {error}"))
             return

@@ -51,7 +51,12 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.cluster.coordinator import ClusterError, Coordinator
 from repro.cluster.worker import parse_address
-from repro.runtime.executors import CancelEvent, ProgressCallback, SerialExecutor
+from repro.runtime.executors import (
+    CancelEvent,
+    ProgressCallback,
+    SerialExecutor,
+    _serial_fallback,
+)
 from repro.runtime.jobs import Job
 
 _TEARDOWN_ERRORS_TOTAL = obs.counter(
@@ -367,8 +372,12 @@ class DistributedExecutor:
         """Run ``jobs`` across the cluster; results in submission order.
 
         Like the process-pool executor, single-job sweeps run inline (no
-        wire round-trip can pay for itself) and ``batch_fn`` is ignored —
-        vectorised batching is an in-process strategy.  A set ``cancel``
+        wire round-trip can pay for itself).  On the cluster path
+        ``batch_fn`` is not shipped to workers — vectorised batching is an
+        in-process strategy — but every in-process degradation (single
+        job, no workers, fallback executor) keeps it, so a sweep with a
+        ``batch_fn`` never silently loses its vectorised inner loop.  A
+        set ``cancel``
         event is forwarded to the coordinator, which revokes the run's
         queued chunks and tells workers to drop in-flight ones; the call
         then raises :class:`~repro.runtime.SweepCancelled`.  ``trace``
@@ -381,11 +390,11 @@ class DistributedExecutor:
         may preempt lower-priority in-flight work.
         """
         if len(jobs) <= 1:
-            return SerialExecutor().execute(jobs, progress, cancel=cancel)
+            return _serial_fallback(jobs, progress, batch_fn, cancel)
         if not self._started:
             self.start()
         if self._fallback is not None:
-            return self._fallback.execute(jobs, progress, cancel=cancel)
+            return _serial_fallback(jobs, progress, batch_fn, cancel)
         assert self.coordinator is not None and self._loop is not None
         chunksize = self.chunksize or self._default_chunksize(len(jobs))
         future = asyncio.run_coroutine_threadsafe(

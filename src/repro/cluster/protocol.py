@@ -25,6 +25,22 @@ to a :class:`~repro.cluster.coordinator.Coordinator`:
     ``kept`` value of the preceding ``split_ack`` and the results cover
     only the kept prefix of the chunk's jobs.  ``trace`` echoes the
     optional observability id the chunk was dispatched with.
+``{"op": "chunk_done", "chunk": <id>, "count": N, "arrays": [...],
+   "binary": B, ...payload...}``
+    Protocol v5 **binary completion**: when every result in the chunk is a
+    NumPy array, the worker ships them as one :mod:`repro.wire` binary
+    frame — ``arrays`` carries the dtype/shape specs
+    (:func:`repro.wire.pack_arrays`) and the ``B`` raw payload bytes
+    follow the header line.  No ``results`` field; the coordinator
+    rebuilds the arrays zero-copy with :func:`repro.wire.unpack_arrays`.
+``{"op": "chunk_done", "chunk": <id>, "count": N, "arrays": [...],
+   "shm": <name>, "digest": <sha256 hex>, "size": B}``
+    Protocol v5 **shared-memory completion** (same-host workers only): the
+    payload bytes live in the named ``multiprocessing.shared_memory``
+    segment instead of crossing the socket.  The coordinator attaches,
+    verifies the SHA-256 ``digest`` over the ``size`` payload bytes,
+    copies the results out and unlinks the segment; the worker keeps its
+    handle until shutdown so a coordinator crash cannot leak the segment.
 ``{"op": "split_ack", "chunk": <id>, "kept": K}``
     Answer to a coordinator ``split`` event (protocol v3).  ``K`` is the
     number of leading jobs the worker keeps (already started jobs can
@@ -75,10 +91,14 @@ Coordinator -> worker events:
                 a harmless duplicate and discarded.
 ``shutdown``  — drain and exit; also implied by end-of-stream.
 
-Job chunks and results cross the wire as base64-wrapped pickles inside the
-JSON frame.  That keeps the framing uniform (and debuggable) while letting
-arbitrary job arguments — technology cards, multiplier objects, NumPy
-seeds — travel to the workers.  Pickle implies *trusted peers only*: the
+Job chunks (and results that are not plain NumPy arrays) cross the wire as
+base64-wrapped pickles inside the JSON frame.  That keeps the framing
+uniform (and debuggable) while letting arbitrary job arguments —
+technology cards, multiplier objects, NumPy seeds — travel to the
+workers.  All-array chunk results take the protocol-v5 binary frame
+instead: raw dtype/shape-tagged buffers with no base64 inflation and no
+pickling, optionally handed over through shared memory on the same host.
+Pickle implies *trusted peers only*: the
 coordinator binds loopback by default, and deployments that spread workers
 across hosts are expected to run inside one trust domain (the same stance
 ``multiprocessing`` takes).  Cache codecs (``encode`` / ``decode``) are
@@ -100,8 +120,13 @@ from repro.runtime.jobs import Job
 #: Version 2 added the ``cancel`` event (coordinator -> worker chunk
 #: revocation for cancelled runs).  Version 3 added the adaptive-scheduler
 #: frames: the ``split`` event, the ``split_ack`` / partial ``chunk_done``
-#: acks, and the ``count`` field on ``chunk_done``.
-CLUSTER_PROTOCOL_VERSION = 3
+#: acks, and the ``count`` field on ``chunk_done``.  Version 5 added the
+#: binary ``chunk_done`` completions (raw array payloads via
+#: :mod:`repro.wire` binary frames) and the same-host shared-memory
+#: handoff (``shm`` / ``digest`` / ``size`` fields); version 4 was skipped
+#: so both wire tiers — this protocol and the service protocol — advertise
+#: the same version for the shared binary-frame substrate.
+CLUSTER_PROTOCOL_VERSION = 5
 
 #: Worker -> coordinator ``op`` vocabulary.  Like the service tuples in
 #: :mod:`repro.service.protocol`, these are pinned three ways: documented
@@ -238,6 +263,52 @@ def chunk_done_request(
     }
     if trace is not None:
         message["trace"] = trace
+    return message
+
+
+def chunk_done_binary_header(
+    chunk_id: str,
+    specs: Sequence[Dict[str, Any]],
+    count: int,
+    trace: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Header of a protocol-v5 binary completion.
+
+    The worker encodes this with :func:`repro.wire.encode_binary` around
+    the :func:`repro.wire.pack_arrays` payload; ``specs`` is the codec's
+    dtype/shape list and ``count`` the number of results (== number of
+    arrays).  No ``results`` field rides along — the payload *is* the
+    result list."""
+    message: Dict[str, Any] = {
+        "op": "chunk_done",
+        "chunk": chunk_id,
+        "count": int(count),
+        "arrays": list(specs),
+    }
+    if trace is not None:
+        message["trace"] = trace
+    return message
+
+
+def chunk_done_shm_request(
+    chunk_id: str,
+    specs: Sequence[Dict[str, Any]],
+    count: int,
+    shm_name: str,
+    digest: str,
+    size: int,
+    trace: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Protocol-v5 shared-memory completion (same-host workers only).
+
+    The array payload lives in the named shared-memory segment rather
+    than following the header on the socket; ``digest`` is the SHA-256
+    hex digest over the ``size`` payload bytes, verified by the
+    coordinator before the results are trusted."""
+    message = chunk_done_binary_header(chunk_id, specs, count, trace)
+    message["shm"] = shm_name
+    message["digest"] = digest
+    message["size"] = int(size)
     return message
 
 

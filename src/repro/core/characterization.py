@@ -25,7 +25,7 @@ historical inline behaviour bit-for-bit.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -254,13 +254,11 @@ def _write_energy_rows_job(
         [celsius_to_kelvin(t) for t in plan.temperatures_celsius], dtype=float
     )
     write_vdd, write_temp = np.meshgrid(vdd_values, temperatures, indexing="ij")
-    energies = np.array(
-        [
-            energy_reference.write_energy(
-                OperatingConditions(vdd=float(v), temperature=float(t), corner=conditions.corner)
-            )
-            for v, t in zip(write_vdd.ravel(), write_temp.ravel())
-        ]
+    # One NumPy pass over the whole (V_DD x T) grid; elementwise identical
+    # to the historical per-point ``write_energy`` loop.
+    energies = np.asarray(
+        energy_reference.write_energy_table(write_vdd.ravel(), write_temp.ravel()),
+        dtype=float,
     )
     return np.column_stack([write_vdd.ravel(), write_temp.ravel(), energies])
 
@@ -285,20 +283,60 @@ def _discharge_energy_rows_job(
     temp_column = sources[:, 3]
     delta_column = sources[:, 2] - sources[:, 4]
     wl_column = sources[:, 1]
-    energy_column = np.array(
-        [
-            energy_reference.discharge_energy(
-                float(delta),
-                float(wl),
-                OperatingConditions(vdd=float(v), temperature=float(t), corner=conditions.corner),
-            )
-            for delta, wl, v, t in zip(delta_column, wl_column, vdd_column, temp_column)
-        ],
+    # One NumPy pass over every record; elementwise identical to the
+    # historical per-record ``discharge_energy`` loop.
+    energy_column = np.asarray(
+        energy_reference.discharge_energy_table(
+            delta_column, wl_column, vdd_column, temp_column
+        ),
         dtype=float,
     )
     return np.column_stack(
         [vdd_column, temp_column, delta_column, wl_column, energy_column]
     )
+
+
+def _characterization_batch(jobs: Sequence[Job]) -> List[np.ndarray]:
+    """Whole-group evaluator for the characterisation sweeps.
+
+    Every characterisation job historically constructed its own
+    :class:`~repro.circuits.transient.TransientSolver` /
+    :class:`~repro.circuits.energy.EnergyModelReference`; a batch shares
+    one per technology card instead, amortising the construction across
+    the group.  Both reference engines are deterministic pure functions of
+    the technology card (the mismatch Monte-Carlo seeds its own sampler
+    per job), so sharing them is bit-identical to per-job construction —
+    the same sharing :func:`characterize` already sanctions by accepting
+    injected engines.  Jobs with an injected engine, and jobs this module
+    does not recognise, run unchanged.
+    """
+    solvers: Dict[int, TransientSolver] = {}
+    references: Dict[int, EnergyModelReference] = {}
+    results: List[np.ndarray] = []
+    for job in jobs:
+        kwargs = dict(job.kwargs)
+        technology = job.args[0] if job.args else None
+        if (
+            job.fn in (_discharge_rows_job, _mismatch_rows_job)
+            and kwargs.get("solver") is None
+        ):
+            key = id(technology)
+            if key not in solvers:
+                solvers[key] = TransientSolver(technology)
+            kwargs["solver"] = solvers[key]
+        elif (
+            job.fn in (_write_energy_rows_job, _discharge_energy_rows_job)
+            and kwargs.get("energy_reference") is None
+        ):
+            key = id(technology)
+            if key not in references:
+                references[key] = EnergyModelReference(technology)
+            kwargs["energy_reference"] = references[key]
+        else:
+            results.append(job.run())
+            continue
+        results.append(job.fn(*job.args, **kwargs))
+    return results
 
 
 def _encode_rows(rows: np.ndarray) -> Artifact:
@@ -392,7 +430,9 @@ def characterize(
             "write-energy", _write_energy_rows_job, nominal, energy_reference=energy_reference
         )
     )
-    tables = engine.run(SweepSpec("characterization", jobs))
+    tables = engine.run(
+        SweepSpec("characterization", jobs, batch_fn=_characterization_batch)
+    )
 
     base = _discharge_sweep_from_rows(tables[0])
     supply_tables = tables[1 : 1 + len(vdd_values)]
@@ -427,7 +467,13 @@ def characterize(
         encode=_encode_rows,
         decode=_decode_rows,
     )
-    energy_table = engine.run(SweepSpec("characterization-energy", [energy_job]))[0]
+    energy_table = engine.run(
+        SweepSpec(
+            "characterization-energy",
+            [energy_job],
+            batch_fn=_characterization_batch,
+        )
+    )[0]
     discharge_energy = DischargeEnergySweep(
         vdd=energy_table[:, 0],
         temperature=energy_table[:, 1],

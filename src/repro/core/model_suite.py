@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -107,6 +107,31 @@ class OptimaModelSuite:
             time,
             wordline_voltage,
             rng,
+            vdd=vdd,
+            temperature=temperature,
+            stored_bit=stored_bit,
+        )
+
+    def sample_discharge_voltage_stack(
+        self,
+        time: ArrayLike,
+        wordline_voltage: ArrayLike,
+        rngs: Sequence[np.random.Generator],
+        conditions: Optional[OperatingConditions] = None,
+        stored_bit: int = 1,
+    ) -> np.ndarray:
+        """Mismatch-sampled discharges for a stack of generators.
+
+        One leading axis per generator; row ``i`` is bit-identical to
+        :meth:`sample_discharge_voltage` with ``rngs[i]`` (the vectorised
+        Monte-Carlo inner loop — mean and sigma evaluated once, not per
+        sample).
+        """
+        vdd, temperature = self._split_conditions(conditions)
+        return self.discharge.sample_discharge_stack(
+            time,
+            wordline_voltage,
+            rngs,
             vdd=vdd,
             temperature=temperature,
             stored_bit=stored_bit,

@@ -100,6 +100,37 @@ def _mean_error_at_conditions(
     return float(analyze_input_space(multiplier, conditions=conditions).mean_error_lsb)
 
 
+def _sensitivity_batch(jobs: Sequence[Job]) -> List[float]:
+    """Whole-chunk evaluator for :func:`_mean_error_at_conditions` jobs.
+
+    The sweep shares one nominally-calibrated multiplier across every
+    operating point, so the whole group of points can be evaluated as one
+    NumPy pass with the supply / temperature values stacked on a leading
+    axis (:meth:`InSramMultiplier.multiply_at_conditions`).  Per-point
+    results are bit-identical to the per-job path; a chunk that is not the
+    expected homogeneous shape (mixed functions, different multipliers)
+    falls back to running each job individually rather than risking the
+    identity guarantee.
+    """
+    if not jobs:
+        return []
+    first = jobs[0]
+    if any(
+        job.fn is not _mean_error_at_conditions
+        or job.kwargs
+        or len(job.args) != 2
+        or job.args[0] is not first.args[0]
+        for job in jobs
+    ):
+        return [job.run() for job in jobs]
+    multiplier = first.args[0]
+    points = [job.args[1] for job in jobs]
+    x_grid, d_grid = multiplier.input_space()
+    expected = (x_grid * d_grid).astype(float)
+    results = multiplier.multiply_at_conditions(x_grid, d_grid, points).astype(float)
+    return [float(np.mean(np.abs(sample - expected))) for sample in results]
+
+
 def analyze_corner_robustness(
     suite: OptimaModelSuite,
     config: MultiplierConfig,
@@ -144,6 +175,7 @@ def analyze_corner_robustness(
         _mean_error_at_conditions,
         [(multiplier, point) for point in sweep_points],
         name=f"robustness:{config.name}",
+        batch_fn=_sensitivity_batch,
     )
     supply_errors = errors[: len(supply_voltages)]
     temperature_errors = errors[len(supply_voltages) :]
@@ -200,6 +232,39 @@ def _monte_carlo_sample(
     return float(np.mean(np.abs(result - expected)))
 
 
+def _monte_carlo_batch(jobs: Sequence[Job]) -> List[float]:
+    """Whole-chunk evaluator for :func:`_monte_carlo_sample` jobs.
+
+    Every sample of a Monte-Carlo sweep shares the multiplier and the
+    operating point and differs only in its :class:`~numpy.random.SeedSequence`
+    child, so a whole group of samples is one stacked NumPy pass
+    (:meth:`InSramMultiplier.multiply_mc_samples`): the deterministic mean
+    discharge and the mismatch sigma are evaluated once per group instead
+    of once per sample, while each sample keeps its own generator and its
+    own ``rng.normal`` draw — bit-identical to the per-job path.  A chunk
+    that is not the homogeneous Monte-Carlo shape falls back to per-job
+    execution.
+    """
+    if not jobs:
+        return []
+    first = jobs[0]
+    if any(
+        job.fn is not _monte_carlo_sample
+        or job.kwargs
+        or len(job.args) != 3
+        or job.args[0] is not first.args[0]
+        or job.args[1] is not first.args[1]
+        for job in jobs
+    ):
+        return [job.run() for job in jobs]
+    multiplier, conditions, _ = first.args
+    rngs = [np.random.default_rng(job.args[2]) for job in jobs]
+    x_grid, d_grid = multiplier.input_space()
+    expected = (x_grid * d_grid).astype(float)
+    results = multiplier.multiply_mc_samples(x_grid, d_grid, rngs, conditions=conditions)
+    return [float(np.mean(np.abs(sample - expected))) for sample in results]
+
+
 def monte_carlo_error_distribution(
     suite: OptimaModelSuite,
     config: MultiplierConfig,
@@ -237,5 +302,7 @@ def monte_carlo_error_distribution(
         )
         for index, child in enumerate(children)
     ]
-    errors = engine.run(SweepSpec(f"monte-carlo:{config.name}", jobs))
+    errors = engine.run(
+        SweepSpec(f"monte-carlo:{config.name}", jobs, batch_fn=_monte_carlo_batch)
+    )
     return np.asarray(errors, dtype=float)

@@ -12,6 +12,13 @@ surface that must migrate can never silently grow.
 Also flagged: ``np.load(..., allow_pickle=True)`` — the artifact cache
 deliberately reads with ``allow_pickle=False`` so a poisoned ``.npz``
 cannot execute code, and nothing else may weaken that.
+
+Raw-buffer decoding is confined the same way: ``np.frombuffer`` turns
+attacker-supplied bytes into arrays with no validation of its own, so
+every call must live behind the length/dtype/shape checks in
+``repro/wire.py`` (``unpack_arrays``) or the artifact cache's metadata
+round-trip (``repro/runtime/cache.py``) — the ``FROMBUFFER_ALLOWLIST``.
+Anywhere else, decode through :func:`repro.wire.unpack_arrays`.
 """
 
 from __future__ import annotations
@@ -22,11 +29,25 @@ from typing import Iterable, Tuple
 
 from repro.lint.core import Checker, dotted_name
 
-__all__ = ["WireSafetyChecker", "PICKLE_ALLOWLIST"]
+__all__ = ["WireSafetyChecker", "PICKLE_ALLOWLIST", "FROMBUFFER_ALLOWLIST"]
 
 #: POSIX path suffixes allowed to touch pickle: the single cluster
 #: transport shim (see its module docstring for the trust stance).
 PICKLE_ALLOWLIST = ("repro/cluster/protocol.py",)
+
+#: POSIX path suffixes allowed to call ``np.frombuffer``: the wire array
+#: codec (which validates length/dtype/shape before viewing) and the
+#: artifact cache's metadata round-trip.  Everything else must decode
+#: through ``repro.wire.unpack_arrays``.
+FROMBUFFER_ALLOWLIST = ("repro/wire.py", "repro/runtime/cache.py")
+
+#: Raw-buffer decoders (module.function) confined to the allowlist above.
+_FROMBUFFER_CALLS = {
+    "np.frombuffer",
+    "numpy.frombuffer",
+    "np.fromstring",
+    "numpy.fromstring",
+}
 
 #: Pickle-family entry points (module.function).
 _PICKLE_CALLS = {
@@ -50,7 +71,8 @@ class WireSafetyChecker(Checker):
     rule = "REPRO-WIRE01"
     description = (
         "pickle/marshal call outside the allowlisted repro/cluster/protocol.py "
-        "shim (or np.load with allow_pickle=True)"
+        "shim, np.load with allow_pickle=True, or np.frombuffer outside the "
+        "validated repro.wire / cache codecs"
     )
 
     def applies_to(self, path: pathlib.PurePath) -> bool:
@@ -60,7 +82,11 @@ class WireSafetyChecker(Checker):
     def check(
         self, tree: ast.Module, source: str, path: pathlib.PurePath
     ) -> Iterable[Tuple[int, int, str]]:
+        frombuffer_exempt = any(
+            path.as_posix().endswith(suffix) for suffix in FROMBUFFER_ALLOWLIST
+        )
         from_pickle = set()
+        from_numpy = set()
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module in (
                 "pickle",
@@ -68,11 +94,29 @@ class WireSafetyChecker(Checker):
             ):
                 for alias in node.names:
                     from_pickle.add(alias.asname or alias.name)
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+                for alias in node.names:
+                    if alias.name in ("frombuffer", "fromstring"):
+                        from_numpy.add(alias.asname or alias.name)
         violations = []
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
+            if not frombuffer_exempt and (
+                name in _FROMBUFFER_CALLS
+                or (isinstance(node.func, ast.Name) and node.func.id in from_numpy)
+            ):
+                violations.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        "raw-buffer decoding outside the validated codecs "
+                        "(repro/wire.py, repro/runtime/cache.py); decode "
+                        "through repro.wire.unpack_arrays instead",
+                    )
+                )
+                continue
             if name in _PICKLE_CALLS:
                 violations.append(
                     (

@@ -19,7 +19,7 @@ transistor-level transient sweep takes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -138,6 +138,33 @@ class InSramMultiplier:
             )
         return discharge * bits
 
+    def bitline_discharge_samples(
+        self,
+        x: ArrayLike,
+        d: ArrayLike,
+        rngs: Sequence[np.random.Generator],
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Mismatch-sampled per-bit-line discharges for a stack of generators.
+
+        Shape ``(len(rngs),) + broadcast(x, d) + (bits,)``; row ``i`` is
+        bit-identical to ``bitline_discharges(x, d, conditions, rngs[i])``.
+        The deterministic mean discharge and the mismatch sigma are
+        evaluated once for the whole stack instead of once per generator.
+        """
+        conditions = conditions or self.conditions
+        x = np.asarray(x, dtype=int)
+        if np.any(x < 0) or np.any(x > self.config.max_operand):
+            raise ValueError(
+                f"input operand out of range 0..{self.config.max_operand}"
+            )
+        bits = self._weight_bits(np.asarray(d))
+        v_wl = self.wordline_voltage(x)[..., np.newaxis]
+        discharge = self.suite.sample_discharge_voltage_stack(
+            self._discharge_times, v_wl, rngs, conditions
+        )
+        return discharge * bits
+
     def combined_discharge(
         self,
         x: ArrayLike,
@@ -202,9 +229,67 @@ class InSramMultiplier:
     ) -> np.ndarray:
         """Digital multiplication result (product codes, broadcasting inputs)."""
         voltage = self.combined_discharge(x, d, conditions=conditions, rng=rng)
+        return self._decode_voltage(voltage)
+
+    def _decode_voltage(self, voltage: np.ndarray) -> np.ndarray:
+        """ADC quantisation plus the calibrated digital read-out mapping."""
         codes = self.adc.quantize(voltage).astype(float)
         products = np.rint(self._readout_scale * codes + self._readout_offset)
         return np.clip(products, 0, self.config.product_levels).astype(int)
+
+    def multiply_mc_samples(
+        self,
+        x: ArrayLike,
+        d: ArrayLike,
+        rngs: Sequence[np.random.Generator],
+        conditions: Optional[OperatingConditions] = None,
+    ) -> np.ndarray:
+        """Digital results for a stack of mismatch generators, one NumPy pass.
+
+        Shape ``(len(rngs),) + broadcast(x, d)``; row ``i`` is bit-identical
+        to ``multiply(x, d, conditions=conditions, rng=rngs[i])`` — the
+        charge-sharing average, ADC quantisation and read-out mapping are
+        all elementwise (or last-axis) operations, so evaluating the whole
+        sample stack in one pass changes nothing but the wall-clock.
+        """
+        discharges = self.bitline_discharge_samples(x, d, rngs, conditions=conditions)
+        return self._decode_voltage(self.combiner.combine_discharges(discharges))
+
+    def multiply_at_conditions(
+        self,
+        x: ArrayLike,
+        d: ArrayLike,
+        conditions_list: Sequence[OperatingConditions],
+    ) -> np.ndarray:
+        """Deterministic digital results for a stack of operating points.
+
+        Shape ``(len(conditions_list),) + broadcast(x, d)``; row ``i`` is
+        bit-identical to ``multiply(x, d, conditions=conditions_list[i])``.
+        The supply / temperature values are broadcast as a leading axis
+        through the discharge model (whose Eq. 3 polynomial term does not
+        depend on them, so it is evaluated once for the whole stack).
+        """
+        x = np.asarray(x, dtype=int)
+        if np.any(x < 0) or np.any(x > self.config.max_operand):
+            raise ValueError(
+                f"input operand out of range 0..{self.config.max_operand}"
+            )
+        bits = self._weight_bits(np.asarray(d))
+        v_wl = self.wordline_voltage(x)[..., np.newaxis]
+        axes = (1,) * len(
+            np.broadcast_shapes(v_wl.shape, self._discharge_times.shape)
+        )
+        vdd = np.asarray(
+            [point.vdd for point in conditions_list], dtype=float
+        ).reshape((len(conditions_list),) + axes)
+        temperature = np.asarray(
+            [point.temperature for point in conditions_list], dtype=float
+        ).reshape((len(conditions_list),) + axes)
+        discharge = self.suite.discharge.discharge(
+            self._discharge_times, v_wl, vdd=vdd, temperature=temperature
+        )
+        voltage = self.combiner.combine_discharges(discharge * bits)
+        return self._decode_voltage(voltage)
 
     def multiplication_error(
         self,

@@ -96,6 +96,13 @@ _JOBS_EXECUTED = obs.counter("repro_engine_jobs_executed_total", "Jobs actually 
 _CACHE_HITS = obs.counter("repro_engine_cache_hits_total", "Jobs served from the artifact cache.")
 _RUN_SECONDS = obs.histogram("repro_engine_run_seconds", "Wall time of completed engine runs.")
 
+#: Jobs per vectorised batch when the engine auto-selects the batch
+#: strategy for a ``batch_fn``-carrying spec.  Large enough to amortise
+#: per-pass Python overhead across a Monte-Carlo / corner-grid group,
+#: small enough that cooperative cancellation still lands within a
+#: reasonable boundary.
+AUTO_BATCH_SIZE = 64
+
 
 @dataclasses.dataclass
 class EngineStats:
@@ -120,11 +127,15 @@ class SweepEngine:
     Parameters
     ----------
     executor:
-        Execution strategy; defaults to :class:`SerialExecutor`, which keeps
-        every existing driver's behaviour (and numerical output) unchanged.
-        Any object with the executor ``execute`` contract works — the
-        registry names (:func:`make_executor`) are ``serial``, ``parallel``,
-        ``batch`` and ``distributed``.
+        Execution strategy.  Any object with the executor ``execute``
+        contract works — the registry names (:func:`make_executor`) are
+        ``serial``, ``parallel``, ``batch`` and ``distributed``.  When left
+        ``None`` the engine runs in **auto** mode: sweeps whose spec
+        carries a vectorised ``batch_fn`` execute through the batch
+        strategy (the whole-chunk NumPy hot path), everything else runs
+        serially — numerically identical either way, since every strategy
+        is bit-identical by contract.  An explicitly passed executor always
+        wins: the engine then never second-guesses the caller's strategy.
     cache:
         Optional :class:`ArtifactCache`.  Jobs that carry a content hash and
         codecs are served from the cache when possible and stored after
@@ -165,6 +176,9 @@ class SweepEngine:
         cancel_event: Optional[CancelEvent] = None,
     ):
         self.executor = executor if executor is not None else SerialExecutor()
+        # Auto-select (engine constructed without an explicit strategy):
+        # specs carrying a batch_fn take the vectorised batch strategy.
+        self._auto_batch = executor is None
         self.cache = cache
         self.progress = progress
         self.cancel_event = cancel_event
@@ -263,7 +277,15 @@ class SweepEngine:
                 extra["trace"] = trace
             if self.sched is not None:
                 extra["sched"] = self.sched
-            executed = self.executor.execute(
+            executor = self.executor
+            if self._auto_batch and spec.batch_fn is not None:
+                # Auto mode: a sweep that brought its vectorised inner
+                # loop runs through the batch strategy by default —
+                # whole groups of jobs per NumPy pass instead of one
+                # Python call per job.  Bit-identical by the executor
+                # contract (the differential property suite enforces it).
+                executor = BatchExecutor(batch_size=AUTO_BATCH_SIZE)
+            executed = executor.execute(
                 pending_jobs,
                 progress=executor_progress,
                 batch_fn=spec.batch_fn,
@@ -298,13 +320,21 @@ class SweepEngine:
         argument_tuples: Iterable[Tuple[Any, ...]],
         name: str = "map",
         progress: Optional[ProgressCallback] = None,
+        batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]] = None,
     ) -> List[Any]:
-        """Convenience: run ``fn(*args)`` for every tuple as one sweep."""
+        """Convenience: run ``fn(*args)`` for every tuple as one sweep.
+
+        ``batch_fn`` (optional) registers a vectorised whole-group
+        evaluator on the spec, exactly as constructing the
+        :class:`~repro.runtime.jobs.SweepSpec` by hand would — an
+        auto-mode engine (and the batch strategy) then evaluates grouped
+        jobs in single NumPy passes.
+        """
         jobs = [
             Job(fn=fn, args=tuple(args), name=f"{name}[{index}]")
             for index, args in enumerate(argument_tuples)
         ]
-        return self.run(SweepSpec(name, jobs), progress=progress)
+        return self.run(SweepSpec(name, jobs, batch_fn=batch_fn), progress=progress)
 
     def describe(self) -> str:
         """Human-readable engine summary (executor, cache, counters)."""
@@ -314,15 +344,24 @@ class SweepEngine:
 
 
 def default_engine(
-    executor: str = "serial",
+    executor: Optional[str] = None,
     cache_dir: Optional[Any] = None,
     use_cache: bool = False,
     **executor_kwargs: Any,
 ) -> SweepEngine:
     """Build an engine from CLI-style options.
 
+    ``executor=None`` (the default) builds an **auto** engine: sweeps
+    carrying a ``batch_fn`` run through the vectorised batch strategy,
+    everything else serially.  Passing a registry name pins the strategy.
     ``use_cache=True`` attaches an :class:`ArtifactCache` rooted at
     ``cache_dir`` (or the :func:`default_cache_dir`).
     """
     cache = ArtifactCache(cache_dir) if use_cache else None
+    if executor is None:
+        if executor_kwargs:
+            raise ValueError(
+                f"executor options {sorted(executor_kwargs)} need an explicit executor"
+            )
+        return SweepEngine(cache=cache)
     return SweepEngine(make_executor(executor, **executor_kwargs), cache=cache)

@@ -21,6 +21,11 @@ Running sweeps at scale
 -----------------------
 The engine options apply to every ``run`` subcommand:
 
+* Without ``--executor`` the engine runs in **auto** mode: sweeps that
+  register a vectorised ``batch_fn`` (PVT Monte-Carlo, characterisation,
+  the DSE corner grid) are evaluated as whole NumPy batches — the default
+  hot path — and everything else runs serially.  Results are bit-identical
+  to every explicit strategy.
 * ``--executor parallel --workers N`` fans independent jobs (characterisation
   operating points, design-space corners, PVT sensitivity points) out over a
   process pool.  Results are bit-identical to serial execution — jobs are
@@ -104,6 +109,8 @@ from repro.sched import JOB_CLASSES, SchedPolicy
 
 _SCALE_EPILOG = """\
 running sweeps at scale:
+  (no --executor)                   auto: vectorised batches for sweeps
+                                    with a batch_fn, serial otherwise
   --executor parallel --workers 8   fan jobs out over a process pool
   --executor distributed --workers 8  shard over long-lived cluster workers
   --executor batch --batch-size 16  vectorised corner-grid batches
@@ -178,7 +185,22 @@ def parse_size(text: str) -> int:
 
 def build_engine(args: argparse.Namespace) -> SweepEngine:
     """Construct the SweepEngine described by the common CLI options."""
-    if args.executor == "distributed":
+    if args.executor is None:
+        # Auto (the default): sweeps that carry a vectorised batch_fn run
+        # through the batch strategy — the whole-chunk NumPy hot path —
+        # and everything else serially.  Bit-identical either way; an
+        # explicit --executor always pins the strategy.
+        for flag, value in (
+            ("--workers", args.workers),
+            ("--chunksize", args.chunksize),
+            ("--batch-size", args.batch_size),
+            ("--connect", args.connect),
+            ("--chunk-window", args.chunk_window),
+        ):
+            if value is not None:
+                raise EngineOptionError(f"{flag} requires an explicit --executor")
+        executor = None
+    elif args.executor == "distributed":
         # The distributed executor names its options differently (worker
         # *processes*, a cluster endpoint) but rides the same CLI flags.
         if args.batch_size is not None:
@@ -206,10 +228,11 @@ def build_engine(args: argparse.Namespace) -> SweepEngine:
                 f"--chunk-window only applies to --executor distributed, "
                 f"not {args.executor!r}"
             )
-    try:
-        executor = make_executor(args.executor, **options)
-    except ValueError as error:
-        raise EngineOptionError(str(error)) from error
+    if args.executor is not None:
+        try:
+            executor = make_executor(args.executor, **options)
+        except ValueError as error:
+            raise EngineOptionError(str(error)) from error
     cache = (
         None
         if args.no_cache
@@ -247,8 +270,10 @@ def _add_engine_options(parser: argparse.ArgumentParser, run_options: bool = Tru
     group.add_argument(
         "--executor",
         choices=("serial", "parallel", "batch", "distributed"),
-        default="serial",
-        help="execution strategy (default: serial; all strategies are bit-identical)",
+        default=None,
+        help="execution strategy (default: auto — vectorised batch for "
+        "sweeps that carry a batch_fn, serial otherwise; all strategies "
+        "are bit-identical)",
     )
     group.add_argument(
         "--workers",

@@ -8,9 +8,10 @@ objects and are required to produce bit-identical, order-preserving results:
 * :class:`ParallelExecutor` — fans jobs out over a
   :class:`concurrent.futures.ProcessPoolExecutor` with configurable
   chunking; chunks keep the pickling overhead per job low on fine-grained
-  grids.  Falls back to serial execution when the pool cannot be created
-  (single-CPU hosts, sandboxed environments) or when there is nothing to
-  parallelise.
+  grids.  Falls back to in-process execution when the pool cannot be
+  created (single-CPU hosts, sandboxed environments) or when there is
+  nothing to parallelise — still through the sweep's ``batch_fn`` when it
+  has one, so degraded hosts keep the vectorised inner loop.
 * :class:`BatchExecutor` — groups jobs and hands whole groups to a sweep's
   vectorised ``batch_fn`` (when provided), amortising shared setup across a
   corner-grid batch; without a ``batch_fn`` it degrades to a chunked serial
@@ -125,6 +126,26 @@ class SerialExecutor:
         return results
 
 
+def _serial_fallback(
+    jobs: Sequence[Job],
+    progress: Optional[ProgressCallback],
+    batch_fn: Optional[Callable[[Sequence[Job]], List[Any]]],
+    cancel: Optional[CancelEvent],
+) -> List[Any]:
+    """Degrade to in-process execution without losing the vectorised path.
+
+    Every executor that falls back to running jobs locally (nothing to
+    parallelise, pool creation failed, no cluster workers) routes through
+    here: a sweep that carries a ``batch_fn`` keeps its whole-chunk NumPy
+    inner loop via :class:`BatchExecutor` — so sandboxed single-core hosts
+    still get the vectorised hot path — and only batch-less sweeps drop to
+    the per-job serial loop.
+    """
+    if batch_fn is not None:
+        return BatchExecutor().execute(jobs, progress, batch_fn=batch_fn, cancel=cancel)
+    return SerialExecutor().execute(jobs, progress, cancel=cancel)
+
+
 class ParallelExecutor:
     """Process-pool executor with configurable chunking.
 
@@ -162,7 +183,7 @@ class ParallelExecutor:
     ) -> List[Any]:
         _check_cancel(cancel, "before dispatch")
         if len(jobs) <= 1 or self.max_workers <= 1:
-            return SerialExecutor().execute(jobs, progress, cancel=cancel)
+            return _serial_fallback(jobs, progress, batch_fn, cancel)
         chunksize = self.chunksize or self._default_chunksize(len(jobs))
         chunks = _chunked(jobs, chunksize)
         try:
@@ -170,7 +191,7 @@ class ParallelExecutor:
         except (OSError, ValueError, PermissionError):
             # Sandboxes without working semaphores / fork land here; the
             # sweep still completes, just without the parallel speedup.
-            return SerialExecutor().execute(jobs, progress, cancel=cancel)
+            return _serial_fallback(jobs, progress, batch_fn, cancel)
         results: List[Any] = [None] * len(jobs)
         total = len(jobs)
         done = 0
@@ -195,7 +216,7 @@ class ParallelExecutor:
             # (process limits, seccomp sandboxes): degrade to serial, same
             # as when the pool cannot be created at all.
             pool.shutdown()
-            return SerialExecutor().execute(jobs, progress, cancel=cancel)
+            return _serial_fallback(jobs, progress, batch_fn, cancel)
         finally:
             pool.shutdown()
         return results

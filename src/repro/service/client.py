@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
+import json
 from typing import Any, AsyncIterator, Callable, Dict, Optional, Type
 
 from repro.runtime.executors import ProgressCallback
@@ -318,8 +319,14 @@ class ServiceClient:
                             str(message.get("label", "")),
                         )
                 elif event == "result":
+                    payload = message.get("payload")
+                    attached = message.get(protocol.PAYLOAD_KEY)
+                    if attached is not None:
+                        # Protocol v5 binary result: the JSON-encoded
+                        # payload followed the header line as raw bytes.
+                        payload = json.loads(bytes(attached).decode("utf-8"))
                     return SweepResult(
-                        payload=message.get("payload"),
+                        payload=payload,
                         key=key,
                         deduplicated=deduplicated,
                         elapsed_seconds=float(message.get("elapsed_seconds", 0.0)),

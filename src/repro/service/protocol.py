@@ -86,9 +86,12 @@ from typing import Any, Dict, Optional
 
 # Shared NDJSON framing, re-exported for backwards compatibility.
 from repro.wire import (  # noqa: F401  (re-exports)
+    MAX_BINARY_BYTES,
     MAX_MESSAGE_BYTES,
+    PAYLOAD_KEY,
     ProtocolError,
     decode_message,
+    encode_binary,
     encode_message,
     open_connection,
     read_message,
@@ -101,7 +104,12 @@ from repro.wire import (  # noqa: F401  (re-exports)
 #: observability id on ``accepted`` events and ``submit`` requests.
 #: Version 4 added the optional ``sched`` field on ``submit`` (job class +
 #: priority for the multi-tenant scheduler, :mod:`repro.sched`).
-PROTOCOL_VERSION = 4
+#: Version 5 added binary ``result`` frames for large payloads: the event
+#: header declares ``{"binary": N}`` and the JSON-encoded payload follows
+#: as N raw bytes with its own :data:`repro.wire.MAX_BINARY_BYTES` bound
+#: (the cluster protocol jumped 3 -> 5 in the same release so both tiers
+#: advertise one version for the shared binary-frame substrate).
+PROTOCOL_VERSION = 5
 
 #: Stable machine-readable failure classes carried by ``error`` events.
 ERROR_CODES = ("bad-request", "busy", "cancelled", "failed")
@@ -204,6 +212,22 @@ def result_event(request_id: str, payload: Any, elapsed_seconds: float) -> Dict[
         "event": "result",
         "id": request_id,
         "payload": payload,
+        "elapsed_seconds": elapsed_seconds,
+    }
+
+
+#: Results whose JSON encoding exceeds this leave the JSON line for a
+#: binary frame (v5): header + raw payload bytes, bounded by
+#: :data:`repro.wire.MAX_BINARY_BYTES` instead of the line limit.
+RESULT_BINARY_BYTES = 256 * 1024
+
+
+def result_header(request_id: str, elapsed_seconds: float) -> Dict[str, Any]:
+    """Header of a binary ``result`` frame (v5): no inline ``payload`` —
+    the JSON-encoded payload follows the line as declared raw bytes."""
+    return {
+        "event": "result",
+        "id": request_id,
         "elapsed_seconds": elapsed_seconds,
     }
 

@@ -49,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import copy
 import dataclasses
+import json
 import threading
 import time
 import uuid
@@ -169,6 +170,30 @@ class _PendingRequest:
             _put_drop_oldest(self.queue, _CANCELLED)
 
 
+async def _send_result(
+    connection: "_Connection", request_id: str, payload: Any, elapsed: float
+) -> bool:
+    """Send the terminal ``result``, spilling large payloads to a binary frame.
+
+    Payloads whose JSON encoding stays under
+    :data:`repro.service.protocol.RESULT_BINARY_BYTES` ride inline in the
+    event as before (protocol <= v4 clients keep working); larger ones take
+    the v5 binary frame — a payload-free header plus the JSON bytes —
+    whose bound is :data:`repro.wire.MAX_BINARY_BYTES` rather than the
+    8 MB line limit.  ``TypeError`` / ``ValueError`` propagate for payloads
+    that cannot be serialised at all; the caller answers with an error
+    event.
+    """
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(encoded) > protocol.RESULT_BINARY_BYTES:
+        return await connection.send_bytes(
+            protocol.encode_binary(
+                protocol.result_header(request_id, elapsed), encoded
+            )
+        )
+    return await connection.send(protocol.result_event(request_id, payload, elapsed))
+
+
 class _Connection:
     """One client link with writes serialised behind an asyncio lock."""
 
@@ -184,9 +209,13 @@ class _Connection:
 
     async def send(self, message: Dict[str, Any]) -> bool:
         """Write one message; returns ``False`` once the peer is gone."""
+        return await self.send_bytes(protocol.encode_message(message))
+
+    async def send_bytes(self, data: bytes) -> bool:
+        """Write pre-encoded frame bytes (also binary frames, whose payload
+        follows the header line); returns ``False`` once the peer is gone."""
         if self.closed:
             return False
-        data = protocol.encode_message(message)
         async with self._send_lock:
             if self.closed:
                 return False
@@ -934,11 +963,11 @@ class SweepService:
                 )
                 return
             try:
-                await connection.send(protocol.result_event(request_id, payload, elapsed))
+                await _send_result(connection, request_id, payload, elapsed)
             except (TypeError, ValueError) as error:
-                # A payload json cannot encode (or that overflows the frame
-                # limit) must still terminate the request with an event —
-                # a silent death here would hang the client forever.
+                # A payload json cannot encode (or that overflows even the
+                # binary bound) must still terminate the request with an
+                # event — a silent death here would hang the client forever.
                 await connection.send(
                     protocol.error_event(
                         request_id,

@@ -94,6 +94,19 @@ def _huge_array(count: int) -> np.ndarray:
     return np.zeros(count)
 
 
+def _huge_pickled(count: int) -> dict:
+    """A non-array result, so it must take the pickled transport (the
+    protocol-v5 binary frame only covers all-array result lists)."""
+    return {"blob": np.zeros(count)}
+
+
+def _seeded_array(entropy: int, index: int, count: int) -> np.ndarray:
+    """Deterministic array result large enough to exercise the binary /
+    shared-memory completion transports."""
+    child = np.random.SeedSequence(entropy).spawn(index + 1)[index]
+    return np.random.default_rng(child).standard_normal(count)
+
+
 def _array_sum(values: np.ndarray) -> float:
     return float(values.sum())
 
@@ -232,18 +245,37 @@ class TestDistributedExecution:
         assert cluster.execute(_seeded_jobs(6)) == SerialExecutor().execute(_seeded_jobs(6))
         assert cluster.status()["alive_workers"] == 2
 
-    def test_oversized_result_fails_instead_of_hanging(self, cluster):
-        """A chunk whose results exceed the frame limit must fail the sweep
-        with a diagnosis — never leave it waiting on the chunk forever."""
+    def test_oversized_pickled_result_fails_instead_of_hanging(self, cluster):
+        """A chunk whose *pickled* results exceed the frame limit must fail
+        the sweep with a diagnosis — never leave it waiting on the chunk
+        forever.  (All-array results escape this limit via the protocol-v5
+        binary frame, so the oversize result here is a dict.)"""
         count = 2_000_000  # 16 MB of float64 -> > MAX_MESSAGE_BYTES once framed
         jobs = [
-            Job(fn=_huge_array, args=(count,), name="huge"),
+            Job(fn=_huge_pickled, args=(count,), name="huge"),
             Job(fn=_square, args=(2,), name="ok"),
         ]
         with pytest.raises(Exception, match="frame limit"):
             cluster.execute(jobs)
         # the workers survived and keep serving
         assert cluster.execute(_seeded_jobs(4)) == SerialExecutor().execute(_seeded_jobs(4))
+
+    def test_oversized_array_results_ship_binary_instead_of_failing(self, cluster):
+        """The same 16 MB array that used to overflow the pickled frame now
+        rides the protocol-v5 binary / shared-memory completion — the sweep
+        succeeds and stays bit-identical to serial."""
+        jobs = [
+            Job(fn=_seeded_array, args=(77, i, 2_000_000), name=f"wide[{i}]")
+            for i in range(2)
+        ]
+        results = cluster.execute(jobs)
+        expected = SerialExecutor().execute(
+            [Job(fn=_seeded_array, args=(77, i, 2_000_000), name=f"wide[{i}]") for i in range(2)]
+        )
+        assert len(results) == 2
+        for got, want in zip(results, expected):
+            assert got.dtype == want.dtype and got.shape == want.shape
+            assert got.tobytes() == want.tobytes()
 
     def test_oversized_job_chunk_fails_instead_of_freezing(self, cluster):
         """A chunk too large to *dispatch* fails its run and leaves the
@@ -277,19 +309,42 @@ class TestDistributedExecution:
     def test_oversized_results_refit_instead_of_failing(self):
         """The symmetric case: job *inputs* are tiny but a multi-job
         chunk's pickled results overflow the frame — the worker tags the
-        failure results_overflow and the coordinator refits."""
+        failure results_overflow and the coordinator refits.  (Dict
+        results, so the v5 binary frame cannot rescue them.)"""
         executor = DistributedExecutor(workers=1, chunksize=2, start_timeout=START_TIMEOUT)
         executor.start()
         if executor._fallback is not None:
             pytest.skip("cluster cannot start in this environment")
         try:
-            jobs = [Job(fn=_huge_array, args=(500_000,), name=f"out[{i}]") for i in range(4)]
+            jobs = [Job(fn=_huge_pickled, args=(500_000,), name=f"out[{i}]") for i in range(4)]
             results = executor.execute(jobs)
             assert len(results) == 4
-            assert all(r.shape == (500_000,) for r in results)
+            assert all(r["blob"].shape == (500_000,) for r in results)
             assert executor.status()["stats"]["chunks_refitted"] >= 1
         finally:
             executor.close()
+
+    def test_shm_disabled_worker_falls_back_to_socket_binary(self, monkeypatch):
+        """REPRO_SHM_MIN_BYTES=-1 disables the shared-memory handoff: large
+        array results then cross the socket as binary frames, bit-identical
+        to the SHM path and to serial."""
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "-1")
+        executor = DistributedExecutor(workers=1, chunksize=1, start_timeout=START_TIMEOUT)
+        executor.start()
+        if executor._fallback is not None:
+            pytest.skip("cluster cannot start in this environment")
+        try:
+            jobs = [
+                Job(fn=_seeded_array, args=(99, i, 400_000), name=f"sock[{i}]")
+                for i in range(3)
+            ]
+            results = executor.execute(jobs)
+        finally:
+            executor.close()
+        expected = SerialExecutor().execute(
+            [Job(fn=_seeded_array, args=(99, i, 400_000), name=f"sock[{i}]") for i in range(3)]
+        )
+        assert [r.tobytes() for r in results] == [e.tobytes() for e in expected]
 
     def test_single_job_runs_inline(self, cluster):
         before = cluster.status()["stats"]["chunks_dispatched"]

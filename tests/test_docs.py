@@ -141,6 +141,48 @@ class TestDocsTree:
         assert '"kept"' in spec or "`kept`" in spec, "split_ack kept field undocumented"
         assert "`count`" in spec or '"count"' in spec, "chunk_done count field undocumented"
 
+    def test_docs_describe_binary_frames_and_shm_handoff(self):
+        """Protocol v5: the binary-frame substrate, the cluster's binary /
+        shared-memory completions and the service's binary result frame
+        must be specified with the shipped constants, and the spec's
+        frames must build with the real constructors."""
+        from repro import wire
+        from repro.cluster import protocol as cluster_protocol
+        from repro.cluster import worker as cluster_worker
+        from repro.service import protocol as service_protocol
+
+        spec = (REPO_ROOT / "docs" / "protocol.md").read_text(encoding="utf-8")
+        # The substrate: the header key and both bounds, as shipped.
+        assert wire.BINARY_KEY == "binary"
+        assert '"binary"' in spec, "binary header key undocumented"
+        assert wire.MAX_BINARY_BYTES == 256 * 1024 * 1024
+        assert "MAX_BINARY_BYTES" in spec, "binary payload bound undocumented"
+        assert "MAX_MESSAGE_BYTES" in spec
+        # Cluster v5: binary + shared-memory completions.
+        for field in ('"arrays"', '"shm"', '"digest"', '"size"'):
+            assert field in spec, f"cluster v5 field {field} undocumented"
+        assert "SHM_MIN_BYTES" in spec, "SHM size floor undocumented"
+        assert cluster_worker.SHM_MIN_BYTES == 1024 * 1024
+        assert "REPRO_SHM_MIN_BYTES" in spec, "SHM env override undocumented"
+        header = cluster_protocol.chunk_done_binary_header(
+            "c1", [{"dtype": "<f8", "shape": [2]}], count=1
+        )
+        assert header["op"] == "chunk_done" and header["count"] == 1
+        assert header["arrays"] == [{"dtype": "<f8", "shape": [2]}]
+        assert "results" not in header
+        shm = cluster_protocol.chunk_done_shm_request(
+            "c1", [{"dtype": "<f8", "shape": [2]}], 1, "seg", "ab" * 32, 16
+        )
+        assert shm["shm"] == "seg" and shm["digest"] == "ab" * 32 and shm["size"] == 16
+        # Service v5: the binary result frame and its switch-over threshold.
+        assert "RESULT_BINARY_BYTES" in spec, "result switch-over undocumented"
+        assert service_protocol.RESULT_BINARY_BYTES == 256 * 1024
+        result_header = service_protocol.result_header("r1", 0.5)
+        assert result_header["event"] == "result" and "payload" not in result_header
+        # The spec's round-trip promise: a binary frame survives the wire.
+        frame = wire.encode_binary({"op": "chunk_done", "chunk": "c1"}, b"\x01\x02")
+        assert frame.split(b"\n", 1)[1] == b"\x01\x02"
+
     def test_protocol_vocabulary_constants_cover_the_spec(self):
         """The frame-vocabulary tuples (which pin the REPRO-PROTO01 lint
         rule) must agree with the frames the spec documents and the

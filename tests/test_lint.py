@@ -293,9 +293,52 @@ class TestWireSafety:
         )
         assert result.findings == []
 
+    def test_frombuffer_outside_the_codecs_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def decode(blob):
+                return np.frombuffer(blob, dtype=np.float64)
+            """,
+        )
+        assert rules_of(result) == ["REPRO-WIRE01"]
+        assert "unpack_arrays" in result.findings[0].message
+
+    def test_from_numpy_import_frombuffer_fires(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """
+            from numpy import frombuffer
+
+            def decode(blob):
+                return frombuffer(blob, dtype="<f8")
+            """,
+        )
+        assert rules_of(result) == ["REPRO-WIRE01"]
+
+    @pytest.mark.parametrize(
+        "name, subdir", [("wire.py", "repro"), ("cache.py", "repro/runtime")]
+    )
+    def test_the_validated_codecs_are_exempt(self, tmp_path, name, subdir):
+        result = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def decode(blob):
+                return np.frombuffer(blob, dtype=np.uint8)
+            """,
+            name=name,
+            subdir=subdir,
+        )
+        assert result.findings == []
+
     def test_shipped_shim_really_is_the_only_pickle_surface(self):
         """The allowlist is not aspirational: linting src finds no
-        pickle call outside the shim (WIRE01 never appears over src)."""
+        pickle call outside the shim — and no raw-buffer decoding
+        outside the validated codecs (WIRE01 never appears over src)."""
         result = run_lint([SRC])
         assert "REPRO-WIRE01" not in rules_of(result)
 

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import tempfile
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -151,6 +153,171 @@ class TestKernelProperties:
 def _sched_index(index: int) -> int:
     """Identity job for the socketless scheduler properties."""
     return index
+
+
+# ----------------------------------------------------------------------
+# Differential executor identity (module-level helpers so the process
+# pool and the cluster workers can pickle them)
+# ----------------------------------------------------------------------
+def _diff_vector(seed: int, size: int) -> np.ndarray:
+    """Deterministic pseudo-random vector: the per-job hot-path stand-in."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(size).cumsum()
+
+
+def _diff_batch(jobs) -> list:
+    """Whole-group evaluator: one stacked NumPy pass over the batch.
+
+    Each stream keeps its own generator and its identical ``standard_normal``
+    call, so the stacked cumulative sum is bit-identical to the per-job path
+    — the same hoisting pattern the PVT Monte-Carlo batch uses.
+    """
+    size = jobs[0].args[1]
+    stacked = np.stack(
+        [np.random.default_rng(job.args[0]).standard_normal(size) for job in jobs]
+    )
+    return list(np.cumsum(stacked, axis=1))
+
+
+def _diff_jobs(entropy: int, count: int, size: int, keyed: bool = False) -> list:
+    from repro.runtime import Artifact, Job, job_key
+
+    encode = (lambda value: Artifact(arrays={"v": value})) if keyed else None
+    decode = (lambda artifact: artifact.arrays["v"]) if keyed else None
+    return [
+        Job(
+            fn=_diff_vector,
+            args=(entropy + index, size),
+            name=f"diff[{index}]",
+            key=job_key("prop-diff", entropy, index, size) if keyed else None,
+            encode=encode,
+            decode=decode,
+        )
+        for index in range(count)
+    ]
+
+
+def _assert_byte_identical(reference: list, candidate: list) -> None:
+    assert len(reference) == len(candidate)
+    for index, (expected, actual) in enumerate(zip(reference, candidate)):
+        expected = np.asarray(expected)
+        actual = np.asarray(actual)
+        assert actual.dtype == expected.dtype, f"dtype drift at index {index}"
+        assert actual.shape == expected.shape, f"shape drift at index {index}"
+        assert actual.tobytes() == expected.tobytes(), f"byte drift at index {index}"
+
+
+@pytest.fixture(scope="module")
+def diff_cluster():
+    """A small local cluster shared by the distributed differential tests."""
+    from repro.cluster import DistributedExecutor
+
+    executor = DistributedExecutor(workers=2, chunksize=2, start_timeout=60.0)
+    executor.start()
+    if executor._fallback is not None:
+        pytest.skip("cluster cannot start in this environment")
+    yield executor
+    executor.close()
+
+
+class TestExecutorDifferential:
+    """All executor strategies must return byte-identical results at
+    identical indices, with and without a vectorised ``batch_fn`` — the
+    lock on the vectorised-default hot path."""
+
+    @given(
+        entropy=st.integers(min_value=0, max_value=2**20),
+        count=st.integers(min_value=1, max_value=24),
+        size=st.integers(min_value=1, max_value=64),
+        batch_size=st.integers(min_value=1, max_value=16),
+        chunksize=st.integers(min_value=1, max_value=8),
+        use_batch_fn=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_in_process_executors_byte_identical(
+        self, entropy, count, size, batch_size, chunksize, use_batch_fn
+    ):
+        from repro.runtime import SweepEngine, SweepSpec, make_executor
+
+        batch_fn = _diff_batch if use_batch_fn else None
+
+        def run(executor):
+            return SweepEngine(executor).run(
+                SweepSpec("diff", _diff_jobs(entropy, count, size), batch_fn=batch_fn)
+            )
+
+        reference = run(make_executor("serial"))
+        _assert_byte_identical(reference, run(None))  # auto (the default)
+        _assert_byte_identical(
+            reference, run(make_executor("batch", batch_size=batch_size))
+        )
+        _assert_byte_identical(
+            reference,
+            run(make_executor("parallel", max_workers=2, chunksize=chunksize)),
+        )
+
+    @given(
+        entropy=st.integers(min_value=0, max_value=2**20),
+        count=st.integers(min_value=1, max_value=16),
+        size=st.integers(min_value=1, max_value=48),
+        warm=st.lists(st.integers(min_value=0, max_value=15), max_size=8),
+        use_batch_fn=st.booleans(),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_cache_warm_cold_mix_byte_identical(
+        self, entropy, count, size, warm, use_batch_fn
+    ):
+        """A partially warm artifact cache must not perturb a single byte:
+        whichever subset of jobs is served from disk, every executor still
+        returns the serial cold-run results."""
+        from repro.runtime import ArtifactCache, SweepEngine, SweepSpec, make_executor
+
+        batch_fn = _diff_batch if use_batch_fn else None
+        reference = SweepEngine(make_executor("serial")).run(
+            SweepSpec("diff", _diff_jobs(entropy, count, size), batch_fn=batch_fn)
+        )
+        warm_indices = sorted({index for index in warm if index < count})
+        for executor in (None, make_executor("batch", batch_size=4)):
+            with tempfile.TemporaryDirectory() as root:
+                engine = SweepEngine(executor, cache=ArtifactCache(root))
+                if warm_indices:
+                    jobs = _diff_jobs(entropy, count, size, keyed=True)
+                    engine.run(
+                        SweepSpec(
+                            "warmup",
+                            [jobs[index] for index in warm_indices],
+                            batch_fn=batch_fn,
+                        )
+                    )
+                mixed = engine.run(
+                    SweepSpec(
+                        "diff",
+                        _diff_jobs(entropy, count, size, keyed=True),
+                        batch_fn=batch_fn,
+                    )
+                )
+                _assert_byte_identical(reference, mixed)
+
+    @given(
+        entropy=st.integers(min_value=0, max_value=2**16),
+        count=st.integers(min_value=1, max_value=10),
+        size=st.integers(min_value=1, max_value=32),
+        use_batch_fn=st.booleans(),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_distributed_matches_serial_byte_identical(
+        self, diff_cluster, entropy, count, size, use_batch_fn
+    ):
+        from repro.runtime import SweepEngine, SweepSpec, make_executor
+
+        batch_fn = _diff_batch if use_batch_fn else None
+        reference = SweepEngine(make_executor("serial")).run(
+            SweepSpec("diff", _diff_jobs(entropy, count, size), batch_fn=batch_fn)
+        )
+        distributed = SweepEngine(diff_cluster).run(
+            SweepSpec("diff", _diff_jobs(entropy, count, size), batch_fn=batch_fn)
+        )
+        _assert_byte_identical(reference, distributed)
 
 
 class TestSchedulerProperties:

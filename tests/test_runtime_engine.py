@@ -109,6 +109,61 @@ class TestExecutors:
             make_executor("quantum")
 
 
+class TestFallbackKeepsBatchFn:
+    """Regression: every in-process degradation used to silently drop
+    ``batch_fn`` (falling back to a plain serial loop); a sweep that
+    brought its vectorised inner loop must keep it on every fallback
+    path."""
+
+    @staticmethod
+    def _tracking_batch_fn(calls):
+        def batch_fn(jobs):
+            calls.append(len(jobs))
+            return [job.args[0] ** 2 for job in jobs]
+
+        return batch_fn
+
+    def test_parallel_single_job_fallback(self):
+        calls = []
+        results = ParallelExecutor(max_workers=4).execute(
+            _toy_jobs(1), batch_fn=self._tracking_batch_fn(calls)
+        )
+        assert results == [0]
+        assert calls == [1]
+
+    def test_parallel_single_worker_fallback(self):
+        calls = []
+        results = ParallelExecutor(max_workers=1).execute(
+            _toy_jobs(7), batch_fn=self._tracking_batch_fn(calls)
+        )
+        assert results == [i * i for i in range(7)]
+        assert sum(calls) == 7
+
+    def test_parallel_pool_failure_fallback(self, monkeypatch):
+        import repro.runtime.executors as executors_module
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(executors_module, "ProcessPoolExecutor", broken_pool)
+        calls = []
+        results = ParallelExecutor(max_workers=4).execute(
+            _toy_jobs(9), batch_fn=self._tracking_batch_fn(calls)
+        )
+        assert results == [i * i for i in range(9)]
+        assert sum(calls) == 9
+
+    def test_distributed_single_job_fallback(self):
+        from repro.cluster import DistributedExecutor
+
+        calls = []
+        executor = DistributedExecutor(workers=1)
+        results = executor.execute(_toy_jobs(1), batch_fn=self._tracking_batch_fn(calls))
+        assert results == [0]
+        assert calls == [1]
+        assert not executor._started  # never paid a cluster spin-up for one job
+
+
 class TestSweepEngine:
     def test_run_preserves_submission_order(self):
         engine = SweepEngine(ParallelExecutor(max_workers=2, chunksize=1))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import os
 import re
 import subprocess
@@ -498,6 +499,15 @@ def _unserialisable_workload(params, engine):
     return {"x": np.zeros(3)}  # ndarray: json.dumps will choke
 
 
+def _bulky_workload(params, engine):
+    """Deterministic payload whose JSON encoding can be made arbitrarily big."""
+    count = int(params.get("count", 8))
+    return {
+        "rows": [{"index": i, "value": i * i, "tag": f"row-{i:04d}"} for i in range(count)],
+        "total": sum(i * i for i in range(count)),
+    }
+
+
 class TestResultSerialisation:
     def test_unserialisable_payload_becomes_error_event(self, tmp_path):
         """A payload json cannot encode must terminate the request with an
@@ -517,6 +527,52 @@ class TestResultSerialisation:
             assert run(scenario()) is True
         finally:
             unregister_workload("toy-unserialisable")
+
+    def test_large_payload_rides_binary_result_frame(self, tmp_path, monkeypatch):
+        """Payloads over RESULT_BINARY_BYTES ship as a v5 binary frame
+        (result header + raw JSON bytes) and must decode to exactly the
+        payload an inline result would have carried."""
+        monkeypatch.setattr(protocol, "RESULT_BINARY_BYTES", 64)
+        register_workload("toy-bulky", _bulky_workload)
+        try:
+
+            async def scenario():
+                engine = SweepEngine(cache=ArtifactCache(tmp_path))
+                async with running_service(engine) as service:
+                    host, port = service.address
+                    async with ServiceClient(host, port) as client:
+                        result = await client.submit("toy-bulky", {"count": 64})
+                        alive = await client.ping()
+                return result, alive
+
+            result, alive = run(scenario())
+            assert alive is True, "connection must stay usable after a binary result"
+            assert result.payload == _bulky_workload({"count": 64}, None)
+        finally:
+            unregister_workload("toy-bulky")
+
+    def test_binary_threshold_matches_the_shipped_constant(self, tmp_path):
+        """Same round trip against the real 256 KiB threshold: a payload
+        whose JSON encoding exceeds RESULT_BINARY_BYTES arrives intact."""
+        count = 12_000  # ~ 600 KB of JSON, comfortably over 256 KiB
+        expected = _bulky_workload({"count": count}, None)
+        encoded = len(json.dumps(expected, sort_keys=True).encode("utf-8"))
+        assert encoded > protocol.RESULT_BINARY_BYTES, (
+            f"test payload must exceed the binary threshold ({encoded} bytes)"
+        )
+        register_workload("toy-bulky", _bulky_workload)
+        try:
+
+            async def scenario():
+                engine = SweepEngine(cache=ArtifactCache(tmp_path))
+                async with running_service(engine) as service:
+                    host, port = service.address
+                    async with ServiceClient(host, port) as client:
+                        return await client.submit("toy-bulky", {"count": count})
+
+            assert run(scenario()).payload == expected
+        finally:
+            unregister_workload("toy-bulky")
 
 
 class TestMontecarloWorkload:
